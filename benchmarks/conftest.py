@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the ``smoke``
+scale (see ``repro.experiments.common``).  A single :class:`ExperimentContext`
+is shared across benchmarks so simulations are not repeated; set the
+``REPRO_BENCH_SCALE`` environment variable to ``small`` or ``full`` for a
+higher-fidelity (and much longer) run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def context(bench_scale) -> ExperimentContext:
+    return ExperimentContext(bench_scale)
+
+
+def run_experiment(benchmark, module, bench_scale, context):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        module.run, kwargs={"scale": bench_scale, "context": context},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.rows, f"{module.EXPERIMENT_ID} produced no rows"
+    print()
+    print(result.to_text())
+    return result

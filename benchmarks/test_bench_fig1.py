@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig1_speedup (Figure 1)."""
+
+from repro.experiments import fig1_speedup as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig1(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig10_counters (Figure 10)."""
+
+from repro.experiments import fig10_counters as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig10(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig11_timestep (Figure 11)."""
+
+from repro.experiments import fig11_timestep as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig11(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig12_arch_features (Figure 12)."""
+
+from repro.experiments import fig12_arch_features as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig12(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

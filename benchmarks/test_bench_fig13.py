@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig13_training_archs (Figure 13)."""
+
+from repro.experiments import fig13_training_archs as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig13(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig3_simpoint_ipc (Figure 3)."""
+
+from repro.experiments import fig3_simpoint_ipc as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig3(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig4_severity (Figure 4)."""
+
+from repro.experiments import fig4_severity as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig4(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig5_traces (Figure 5)."""
+
+from repro.experiments import fig5_traces as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig5(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig6_bug_vs_bugfree (Figure 6)."""
+
+from repro.experiments import fig6_bug_vs_bugfree as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig6(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

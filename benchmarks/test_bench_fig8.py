@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig8_roc (Figure 8)."""
+
+from repro.experiments import fig8_roc as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig8(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

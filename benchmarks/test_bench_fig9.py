@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig9_probes (Figure 9)."""
+
+from repro.experiments import fig9_probes as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_fig9(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

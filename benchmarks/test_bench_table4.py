@@ -1,0 +1,9 @@
+"""Benchmark: regenerate table4_ipc_modeling (Table IV)."""
+
+from repro.experiments import table4_ipc_modeling as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_table4(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

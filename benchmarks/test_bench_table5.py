@@ -1,0 +1,9 @@
+"""Benchmark: regenerate table5_detection (Table V)."""
+
+from repro.experiments import table5_detection as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_table5(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

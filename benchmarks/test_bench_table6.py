@@ -1,0 +1,9 @@
+"""Benchmark: regenerate table6_window (Table VI)."""
+
+from repro.experiments import table6_window as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_table6(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate table7_memory (Table VII)."""
+
+from repro.experiments import table7_memory as experiment
+
+from conftest import run_experiment
+
+
+def test_bench_table7(benchmark, bench_scale, context):
+    run_experiment(benchmark, experiment, bench_scale, context)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: detect an injected scheduling bug in a "new" microarchitecture.
+
+This walks the full methodology end to end on a deliberately small setup:
+
+1. extract SimPoint probes from two SPEC-CPU2006-like synthetic workloads,
+2. train one per-probe IPC model on the bug-free legacy designs (Set I/II),
+3. train the stage-2 rule-based classifier on Sets II/III,
+4. test the "new" Set-IV designs bug-free and with an injected bug.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.bugs import core_bug_suite, figure1_bug2
+from repro.detect import DetectionSetup, ProbeModelConfig, SimulationCache, TwoStageDetector, build_probes
+from repro.uarch import core_microarch, core_set
+
+
+def main() -> None:
+    print("Extracting SimPoint probes from synthetic 403.gcc / 458.sjeng ...")
+    probes = build_probes(
+        ["403.gcc", "458.sjeng"],
+        instructions_per_benchmark=15_000,
+        interval_size=3_000,
+        max_simpoints_per_benchmark=3,
+        seed=7,
+    )
+    print(f"  extracted {len(probes)} probes: {[p.name for p in probes]}")
+
+    suite = {
+        bug_type: variants
+        for bug_type, variants in core_bug_suite(max_variants_per_type=1).items()
+        if bug_type in ("Serialized", "MispredictDelay", "RegisterReduction")
+    }
+    setup = DetectionSetup(
+        probes=probes,
+        train_designs=core_set("I"),
+        val_designs=core_set("II"),
+        stage2_designs=core_set("II") + core_set("III"),
+        test_designs=core_set("IV"),
+        bug_suite=suite,
+        cache=SimulationCache(step_cycles=512),
+        model_config=ProbeModelConfig(engine="GBT-150"),
+    )
+
+    print("Training stage-1 IPC models on bug-free legacy designs ...")
+    detector = TwoStageDetector(setup)
+    detector.prepare()
+
+    print("Evaluating leave-one-bug-type-out detection on the Set-IV designs ...")
+    result = detector.evaluate()
+    print("  overall:", {k: round(v, 3) for k, v in result.summary_row().items()})
+
+    # Manual check of one specific new design, the way a performance team would.
+    skylake = core_microarch("Skylake")
+    bug = figure1_bug2()  # "sub is incorrectly marked serialising"
+    classifier_fold = detector.evaluate_fold("Serialized")
+    clean_errors = detector.error_vector(skylake)
+    buggy_errors = detector.error_vector(skylake, bug)
+    print(f"Per-probe Eq.(1) errors on bug-free Skylake : {clean_errors.round(3)}")
+    print(f"Per-probe Eq.(1) errors with '{bug.name}'   : {buggy_errors.round(3)}")
+    print("A healthy design keeps errors near the bug-free level; the injected "
+          "scheduling bug breaks the counter-IPC correlation and inflates them.")
+    print(f"(fold '{classifier_fold.bug_type}' detected "
+          f"{classifier_fold.metrics.true_positives}/{classifier_fold.metrics.positives} "
+          f"buggy cases with {classifier_fold.metrics.false_positives} false positives)")
+
+
+if __name__ == "__main__":
+    main()

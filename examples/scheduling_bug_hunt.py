@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: compare bug severities and per-SimPoint visibility on Skylake.
+
+Reproduces the motivation of the paper's introduction (Figures 1 and 3): a
+bug can be invisible in whole-application IPC yet obvious on an individual
+SimPoint probe, and the same bug type can span severity bands depending on
+its parameters.
+
+Run with:  python examples/scheduling_bug_hunt.py
+"""
+
+from repro.bugs import (
+    IfOldestIssueOnly,
+    L2LatencyBug,
+    SerializeOpcode,
+    Severity,
+    measure_severity,
+)
+from repro.simpoint import select_simpoints
+from repro.uarch import core_microarch
+from repro.workloads import Opcode, TraceGenerator, build_program, workload
+
+
+def main() -> None:
+    skylake = core_microarch("Skylake")
+    program = build_program(workload("403.gcc"), seed=3)
+    selection = select_simpoints(program, total_instructions=18_000,
+                                 interval_size=3_000, max_simpoints=4, seed=3)
+    traces = {sp.name: sp.trace for sp in selection}
+    print(f"403.gcc SimPoints: {[sp.name for sp in selection]}")
+
+    bugs = [
+        IfOldestIssueOnly(Opcode.XOR),   # Figure 1 "Bug 1"
+        SerializeOpcode(Opcode.SUB),     # Figure 1 "Bug 2"
+        L2LatencyBug(16),                # memory-side core bug
+    ]
+    print(f"{'bug':35s} {'severity':10s} per-SimPoint IPC impact (%)")
+    for bug in bugs:
+        report = measure_severity(bug, skylake, traces, step_cycles=512)
+        impacts = "  ".join(
+            f"{name.split('/')[-1]}:{100 * impact:5.1f}"
+            for name, impact in report.per_workload_impact.items()
+        )
+        print(f"{bug.name:35s} {report.severity.value:10s} {impacts}")
+
+    print("\nNote how the xor scheduling bug is nearly invisible on most probes but "
+          "stands out on the xor-heavy one — the property the methodology exploits.")
+
+    # A whole-program view would hide it: weight the impacts by SimPoint weight.
+    xor_bug = bugs[0]
+    report = measure_severity(xor_bug, skylake, traces, step_cycles=512)
+    weighted = sum(report.per_workload_impact[sp.name] * sp.weight for sp in selection)
+    worst = max(report.per_workload_impact.values())
+    print(f"Whole-program impact of {xor_bug.name}: {100 * weighted:.2f}% "
+          f"(worst single SimPoint: {100 * worst:.2f}%)")
+    assert report.severity in tuple(Severity)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works in fully offline environments where
+the ``wheel`` package (required by PEP 517 editable builds on older
+setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Common bug abstractions: severity bands and bug metadata.
+
+The paper groups its injected bugs into four severity bands by their average
+IPC impact across the studied applications (Section IV-C): High (>= 10 %),
+Medium (5-10 %), Low (1-5 %) and Very-Low (< 1 %).  Severity is a *measured*
+property — the same bug type with different parameters can land in different
+bands — so the band is computed from simulation results rather than declared.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Average-IPC-impact band of a bug (Section IV-C / Figure 4)."""
+
+    HIGH = "High"
+    MEDIUM = "Medium"
+    LOW = "Low"
+    VERY_LOW = "Very Low"
+
+    @classmethod
+    def from_impact(cls, impact: float) -> "Severity":
+        """Band for an average relative IPC degradation *impact* (0.07 = 7 %)."""
+        if impact >= 0.10:
+            return cls.HIGH
+        if impact >= 0.05:
+            return cls.MEDIUM
+        if impact >= 0.01:
+            return cls.LOW
+        return cls.VERY_LOW
+
+
+@dataclass
+class BugInfo:
+    """Descriptive metadata shared by core and memory bugs."""
+
+    name: str
+    bug_type: str
+    params: dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

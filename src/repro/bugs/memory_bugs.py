@@ -1,0 +1,173 @@
+"""The 6 memory-system performance-bug types of Section IV-D.
+
+Each bug is a :class:`~repro.memsim.hooks.MemoryBugModel` subclass:
+
+1. Replacement age counter not updated on access.
+2. Eviction picks the most recently used block instead of the LRU block.
+3. After N load misses at L1D (or L2 variant), reads are delayed T cycles.
+4. SPP signatures are reset, making the prefetcher use the wrong address.
+5. Lookahead prefetching follows the least-confident path.
+6. Some prefetches are incorrectly marked as executed.
+"""
+
+from __future__ import annotations
+
+from ..memsim.hooks import MemoryBugModel
+from .base import BugInfo
+
+
+class MemoryBug(MemoryBugModel):
+    """Base class for injected memory-system bugs with metadata."""
+
+    bug_type: str = "abstract"
+
+    def __init__(self, name: str, params: dict[str, object], description: str) -> None:
+        self.name = name
+        self.info = BugInfo(
+            name=name, bug_type=self.bug_type, params=params, description=description
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class NoAgeUpdateOnAccess(MemoryBug):
+    """Bug 1: the replacement age counter is not updated when a block hits."""
+
+    bug_type = "ReplacementNoAgeUpdate"
+
+    def __init__(self, level: str = "l1d") -> None:
+        super().__init__(
+            name=f"no_age_update_{level}",
+            params={"level": level},
+            description=f"LRU age not updated on {level.upper()} hits",
+        )
+        self.level = level
+
+    def update_replacement_on_access(self, level: str) -> bool:
+        return level != self.level
+
+
+class EvictMRU(MemoryBug):
+    """Bug 2: evictions remove the most recently used block."""
+
+    bug_type = "EvictMRU"
+
+    def __init__(self, level: str = "l1d") -> None:
+        super().__init__(
+            name=f"evict_mru_{level}",
+            params={"level": level},
+            description=f"{level.upper()} evicts the MRU block instead of the LRU block",
+        )
+        self.level = level
+
+    def evict_most_recently_used(self, level: str) -> bool:
+        return level == self.level
+
+
+class LoadMissDelay(MemoryBug):
+    """Bug 3: after N load misses at a level, reads are delayed T cycles."""
+
+    bug_type = "LoadMissDelay"
+
+    def __init__(self, level: str = "l1d", threshold: int = 64, delay: int = 20) -> None:
+        super().__init__(
+            name=f"load_miss_delay_{level}_{threshold}_{delay}",
+            params={"level": level, "threshold": threshold, "delay": delay},
+            description=f"After {threshold} load misses at {level.upper()}, reads "
+            f"are delayed {delay} cycles",
+        )
+        self.level = level
+        self.threshold = threshold
+        self.delay = delay
+
+    def load_miss_extra_delay(self, level: str, miss_count: int) -> int:
+        if level == self.level and miss_count > self.threshold:
+            return self.delay
+        return 0
+
+
+class SPPSignatureReset(MemoryBug):
+    """Bug 4: SPP signatures are reset, so learned delta paths are lost."""
+
+    bug_type = "SPPSignatureReset"
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="spp_signature_reset",
+            params={},
+            description="SPP signatures reset to zero on every access",
+        )
+
+    def spp_corrupt_signature(self, signature: int) -> int:
+        return 0
+
+
+class SPPLeastConfidence(MemoryBug):
+    """Bug 5: lookahead prefetching follows the least-confident path."""
+
+    bug_type = "SPPLeastConfidence"
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="spp_least_confidence",
+            params={},
+            description="SPP lookahead selects the least-confident delta",
+        )
+
+    def spp_pick_least_confident(self) -> bool:
+        return True
+
+
+class SPPDroppedPrefetches(MemoryBug):
+    """Bug 6: a fraction of prefetches are marked executed but never issued."""
+
+    bug_type = "SPPDroppedPrefetches"
+
+    def __init__(self, drop_every: int = 2) -> None:
+        super().__init__(
+            name=f"spp_dropped_prefetches_{drop_every}",
+            params={"drop_every": drop_every},
+            description=f"Every {drop_every}-th prefetch is marked executed but dropped",
+        )
+        self.drop_every = max(1, drop_every)
+
+    def spp_drop_prefetch(self, prefetch_index: int) -> bool:
+        return prefetch_index % self.drop_every == 0
+
+
+#: Memory bug-type identifiers in the paper's order.
+MEMORY_BUG_TYPES: tuple[str, ...] = (
+    "ReplacementNoAgeUpdate",
+    "EvictMRU",
+    "LoadMissDelay",
+    "SPPSignatureReset",
+    "SPPLeastConfidence",
+    "SPPDroppedPrefetches",
+)
+
+
+def memory_bug_suite(max_variants_per_type: int | None = None) -> dict[str, list[MemoryBug]]:
+    """The memory-system bug suite as ``{bug_type: [variants...]}``."""
+    suite: dict[str, list[MemoryBug]] = {
+        "ReplacementNoAgeUpdate": [NoAgeUpdateOnAccess("l1d"), NoAgeUpdateOnAccess("l2")],
+        "EvictMRU": [EvictMRU("l1d"), EvictMRU("l2")],
+        "LoadMissDelay": [
+            LoadMissDelay("l1d", threshold=64, delay=20),
+            LoadMissDelay("l2", threshold=32, delay=40),
+        ],
+        "SPPSignatureReset": [SPPSignatureReset()],
+        "SPPLeastConfidence": [SPPLeastConfidence()],
+        "SPPDroppedPrefetches": [SPPDroppedPrefetches(2), SPPDroppedPrefetches(4)],
+    }
+    if max_variants_per_type is not None:
+        if max_variants_per_type <= 0:
+            raise ValueError("max_variants_per_type must be positive")
+        suite = {k: v[:max_variants_per_type] for k, v in suite.items()}
+    return suite
+
+
+def all_memory_bugs(max_variants_per_type: int | None = None) -> list[MemoryBug]:
+    """Flat list of every memory bug variant."""
+    return [b for variants in memory_bug_suite(max_variants_per_type).values()
+            for b in variants]

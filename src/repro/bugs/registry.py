@@ -1,0 +1,160 @@
+"""Registry of the injected core-bug variants used throughout the experiments.
+
+The paper implements 14 basic bug types and, for each, multiple variants
+obtained by changing the opcode X/Y, threshold N, register R and delay T, so
+that the suite spans the four severity bands.  :func:`core_bug_suite` builds
+that suite; the named constructors reproduce the specific bugs the paper calls
+out (Figure 1's two Skylake bugs and Table V's two "buggy training" bugs).
+"""
+
+from __future__ import annotations
+
+from ..workloads.isa import Opcode
+from .core_bugs import (
+    BPTableReduction,
+    CoreBug,
+    DependencyDelay,
+    IQPressureDelay,
+    IfOldestIssueOnly,
+    IssueOnlyIfOldest,
+    L2LatencyBug,
+    LongBranchDelay,
+    MispredictPenalty,
+    OpcodeUsesRegisterDelay,
+    RegisterReduction,
+    ROBPressureDelay,
+    SerializeOpcode,
+    StoresToLineDelay,
+    StoresToRegisterDelay,
+)
+
+#: All 14 bug-type identifiers, in the paper's order.
+CORE_BUG_TYPES: tuple[str, ...] = (
+    "Serialized",
+    "IssueXOnlyIfOldest",
+    "IfOldestIssueOnlyX",
+    "IfXDependsOnYDelayT",
+    "IQPressureDelay",
+    "ROBPressureDelay",
+    "MispredictDelay",
+    "NStoresToLineDelay",
+    "NStoresToRegisterDelay",
+    "L2LatencyIncrease",
+    "RegisterReduction",
+    "LongBranchDelay",
+    "IfXUsesRegNDelayT",
+    "BPTableReduction",
+)
+
+
+def _full_variants() -> dict[str, list[CoreBug]]:
+    """The full variant suite (severity spread per type via X/N/R/T choices)."""
+    return {
+        "Serialized": [
+            SerializeOpcode(Opcode.XOR),
+            SerializeOpcode(Opcode.SUB),
+            SerializeOpcode(Opcode.LOAD),
+        ],
+        "IssueXOnlyIfOldest": [
+            IssueOnlyIfOldest(Opcode.ADD),
+            IssueOnlyIfOldest(Opcode.XOR),
+            IssueOnlyIfOldest(Opcode.MUL),
+        ],
+        "IfOldestIssueOnlyX": [
+            IfOldestIssueOnly(Opcode.XOR),
+            IfOldestIssueOnly(Opcode.SUB),
+            IfOldestIssueOnly(Opcode.LOAD),
+        ],
+        "IfXDependsOnYDelayT": [
+            DependencyDelay(Opcode.ADD, Opcode.LOAD, 6),
+            DependencyDelay(Opcode.XOR, Opcode.ADD, 10),
+            DependencyDelay(Opcode.FMUL, Opcode.FADD, 8),
+        ],
+        "IQPressureDelay": [
+            IQPressureDelay(12, 8),
+            IQPressureDelay(4, 4),
+        ],
+        "ROBPressureDelay": [
+            ROBPressureDelay(24, 8),
+            ROBPressureDelay(8, 4),
+        ],
+        "MispredictDelay": [
+            MispredictPenalty(30),
+            MispredictPenalty(8),
+        ],
+        "NStoresToLineDelay": [
+            StoresToLineDelay(4, 12),
+            StoresToLineDelay(16, 6),
+        ],
+        "NStoresToRegisterDelay": [
+            StoresToRegisterDelay(16, 6, mode="every"),
+            StoresToRegisterDelay(64, 8, mode="after"),
+        ],
+        "L2LatencyIncrease": [
+            L2LatencyBug(16),
+            L2LatencyBug(4),
+        ],
+        "RegisterReduction": [
+            RegisterReduction(48),
+            RegisterReduction(16),
+        ],
+        "LongBranchDelay": [
+            LongBranchDelay(64, 12),
+            LongBranchDelay(256, 6),
+        ],
+        "IfXUsesRegNDelayT": [
+            OpcodeUsesRegisterDelay(Opcode.ADD, 0, 10),
+            OpcodeUsesRegisterDelay(Opcode.XOR, 3, 12),
+            OpcodeUsesRegisterDelay(Opcode.LOAD, 5, 8),
+        ],
+        "BPTableReduction": [
+            BPTableReduction(4064),
+            BPTableReduction(3840),
+        ],
+    }
+
+
+def core_bug_suite(max_variants_per_type: int | None = None) -> dict[str, list[CoreBug]]:
+    """Return the bug suite as ``{bug_type: [variants...]}``.
+
+    Parameters
+    ----------
+    max_variants_per_type:
+        If given, keep only the first *n* variants of each type.  Experiments
+        at reduced scale use this to bound simulation cost.
+    """
+    suite = _full_variants()
+    if max_variants_per_type is not None:
+        if max_variants_per_type <= 0:
+            raise ValueError("max_variants_per_type must be positive")
+        suite = {k: v[:max_variants_per_type] for k, v in suite.items()}
+    return suite
+
+
+def all_core_bugs(max_variants_per_type: int | None = None) -> list[CoreBug]:
+    """Flat list of every bug variant in the suite."""
+    return [bug for variants in core_bug_suite(max_variants_per_type).values()
+            for bug in variants]
+
+
+# -- bugs the paper names explicitly ----------------------------------------
+
+
+def figure1_bug1() -> CoreBug:
+    """Figure 1 "Bug 1": xor issues alone when it is the oldest IQ entry."""
+    return IfOldestIssueOnly(Opcode.XOR)
+
+
+def figure1_bug2() -> CoreBug:
+    """Figure 1 "Bug 2": sub instructions are incorrectly marked serialising."""
+    return SerializeOpcode(Opcode.SUB)
+
+
+def tableV_bug1() -> CoreBug:
+    """Table V "Bug 1": if XOR is oldest in the IQ, issue only XOR."""
+    return IfOldestIssueOnly(Opcode.XOR)
+
+
+def tableV_bug2() -> CoreBug:
+    """Table V "Bug 2": if ADD uses register 0, delay 10 cycles."""
+    return OpcodeUsesRegisterDelay(Opcode.ADD, 0, 10)

@@ -1,0 +1,87 @@
+"""Severity measurement: average IPC impact of a bug across workloads.
+
+Severity is defined exactly as in Section IV-C: the average relative IPC
+degradation across the studied applications, banded into High / Medium / Low /
+Very-Low.  Because the impact depends on the workloads and the simulator, it
+is measured rather than declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coresim.hooks import CoreBugModel
+from ..coresim.simulator import simulate_trace
+from ..uarch.config import MicroarchConfig
+from ..workloads.isa import MicroOp
+from .base import Severity
+
+
+@dataclass
+class SeverityReport:
+    """Measured IPC impact of one bug."""
+
+    bug_name: str
+    per_workload_impact: dict[str, float]
+    average_impact: float
+    severity: Severity
+
+
+def ipc_impact(
+    config: MicroarchConfig,
+    trace: list[MicroOp],
+    bug: CoreBugModel,
+    step_cycles: int = 2048,
+) -> float:
+    """Relative IPC degradation of *bug* on one trace (positive = slower)."""
+    clean = simulate_trace(config, trace, bug=None, step_cycles=step_cycles)
+    buggy = simulate_trace(config, trace, bug=bug, step_cycles=step_cycles)
+    if clean.ipc <= 0:
+        return 0.0
+    return max(0.0, (clean.ipc - buggy.ipc) / clean.ipc)
+
+
+def measure_severity(
+    bug: CoreBugModel,
+    config: MicroarchConfig,
+    workload_traces: dict[str, list[MicroOp]],
+    step_cycles: int = 2048,
+) -> SeverityReport:
+    """Measure the severity band of *bug* over a set of workload traces.
+
+    Parameters
+    ----------
+    bug:
+        The bug model to evaluate.
+    config:
+        Microarchitecture on which the impact is measured.
+    workload_traces:
+        Mapping of workload name to its dynamic trace (typically one
+        representative SimPoint per application).
+    """
+    if not workload_traces:
+        raise ValueError("workload_traces must not be empty")
+    impacts = {
+        name: ipc_impact(config, trace, bug, step_cycles=step_cycles)
+        for name, trace in workload_traces.items()
+    }
+    average = float(np.mean(list(impacts.values())))
+    return SeverityReport(
+        bug_name=getattr(bug, "name", str(bug)),
+        per_workload_impact=impacts,
+        average_impact=average,
+        severity=Severity.from_impact(average),
+    )
+
+
+def severity_distribution(reports: list[SeverityReport]) -> dict[Severity, float]:
+    """Fraction of bugs in each severity band (the Figure 4 histogram)."""
+    if not reports:
+        raise ValueError("reports must not be empty")
+    counts = {band: 0 for band in Severity}
+    for report in reports:
+        counts[report.severity] += 1
+    total = len(reports)
+    return {band: counts[band] / total for band in Severity}

@@ -1,0 +1,25 @@
+"""Cycle-level out-of-order core simulator (gem5 O3CPU stand-in)."""
+
+from .branch import BranchPredictor
+from .caches import Cache, CacheHierarchy
+from .counters import CounterTimeSeries, TimeSeriesSampler, derived_counters
+from .hooks import BUG_FREE, CoreBugModel, DispatchContext
+from .pipeline import O3Pipeline, PipelineError
+from .simulator import DEFAULT_STEP_CYCLES, SimulationResult, simulate_trace
+
+__all__ = [
+    "BranchPredictor",
+    "Cache",
+    "CacheHierarchy",
+    "CounterTimeSeries",
+    "TimeSeriesSampler",
+    "derived_counters",
+    "CoreBugModel",
+    "DispatchContext",
+    "BUG_FREE",
+    "O3Pipeline",
+    "PipelineError",
+    "SimulationResult",
+    "simulate_trace",
+    "DEFAULT_STEP_CYCLES",
+]

@@ -1,0 +1,134 @@
+"""Branch prediction for the out-of-order core model.
+
+A gshare-style direction predictor (2-bit saturating counters indexed by
+PC xor global history), a direct-mapped BTB and a small indirect-target
+predictor.  The effective direction-table size goes through the bug hook so
+that bug type 14 ("table index function issue, reducing effective table size")
+can be injected without touching the predictor itself.
+"""
+
+from __future__ import annotations
+
+from ..uarch.config import MicroarchConfig
+from ..workloads.isa import MicroOp
+from .hooks import CoreBugModel
+
+
+class BranchPredictor:
+    """gshare + BTB + indirect predictor with hit/miss accounting."""
+
+    HISTORY_BITS = 12
+
+    def __init__(self, config: MicroarchConfig, bug: CoreBugModel) -> None:
+        self.config = config
+        entries = bug.bp_table_entries(config.bp_table_entries)
+        self.table_entries = max(4, entries)
+        self.counters = [2] * self.table_entries  # weakly taken
+        self.history = 0
+        self.history_mask = (1 << self.HISTORY_BITS) - 1
+        self.btb: dict[int, int] = {}
+        self.btb_entries = config.btb_entries
+        self.indirect_sets = max(4, config.indirect_predictor_sets)
+        self.indirect_table: dict[int, int] = {}
+
+        self.lookups = 0
+        self.mispredicts = 0
+        self.direction_mispredicts = 0
+        self.indirect_lookups = 0
+        self.indirect_mispredicts = 0
+        self.btb_hits = 0
+        self.btb_lookups = 0
+
+    # -- direction prediction ------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) % self.table_entries
+
+    def _predict_direction(self, pc: int) -> bool:
+        return self.counters[self._index(pc)] >= 2
+
+    def _update_direction(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self.counters[index]
+        if taken:
+            self.counters[index] = min(3, counter + 1)
+        else:
+            self.counters[index] = max(0, counter - 1)
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+    # -- target prediction ----------------------------------------------------
+
+    def _predict_target(self, uop: MicroOp) -> int | None:
+        if uop.indirect:
+            self.indirect_lookups += 1
+            key = ((uop.pc >> 2) ^ self.history) % self.indirect_sets
+            return self.indirect_table.get(key)
+        self.btb_lookups += 1
+        target = self.btb.get(uop.pc)
+        if target is not None:
+            self.btb_hits += 1
+        return target
+
+    def _update_target(self, uop: MicroOp) -> None:
+        if uop.target is None:
+            return
+        if uop.indirect:
+            key = ((uop.pc >> 2) ^ self.history) % self.indirect_sets
+            self.indirect_table[key] = uop.target
+        else:
+            if uop.pc not in self.btb and len(self.btb) >= self.btb_entries:
+                # Evict an arbitrary (oldest-inserted) entry.
+                self.btb.pop(next(iter(self.btb)))
+            self.btb[uop.pc] = uop.target
+
+    # -- public API -------------------------------------------------------------
+
+    def predict_and_update(self, uop: MicroOp) -> bool:
+        """Predict *uop* and update predictor state; returns True on mispredict.
+
+        The trace carries the architecturally-correct outcome, so prediction
+        and training happen in one call (prediction uses the state *before*
+        the update, as in hardware).
+        """
+        if not uop.is_branch or uop.taken is None:
+            return False
+        self.lookups += 1
+        predicted_taken = self._predict_direction(uop.pc)
+        predicted_target = self._predict_target(uop) if predicted_taken else None
+
+        mispredicted = predicted_taken != uop.taken
+        if mispredicted:
+            self.direction_mispredicts += 1
+        elif uop.taken and predicted_target != uop.target:
+            mispredicted = True
+            if uop.indirect:
+                self.indirect_mispredicts += 1
+
+        self._update_direction(uop.pc, uop.taken)
+        if uop.taken:
+            self._update_target(uop)
+        if mispredicted:
+            self.mispredicts += 1
+        return mispredicted
+
+    def reset_stats(self) -> None:
+        """Clear the counters while keeping the learned predictor state."""
+        self.lookups = 0
+        self.mispredicts = 0
+        self.direction_mispredicts = 0
+        self.indirect_lookups = 0
+        self.indirect_mispredicts = 0
+        self.btb_hits = 0
+        self.btb_lookups = 0
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative predictor counters."""
+        return {
+            "bp.lookups": self.lookups,
+            "bp.mispredicts": self.mispredicts,
+            "bp.direction_mispredicts": self.direction_mispredicts,
+            "bp.indirect_lookups": self.indirect_lookups,
+            "bp.indirect_mispredicts": self.indirect_mispredicts,
+            "bp.btb_lookups": self.btb_lookups,
+            "bp.btb_hits": self.btb_hits,
+        }

@@ -1,0 +1,50 @@
+"""The paper's contribution: two-stage ML-based performance-bug detection."""
+
+from .baseline import SingleStageBaseline
+from .counter_selection import (
+    MAX_COUNTERS,
+    MIN_COUNTERS,
+    manual_counter_set,
+    select_counters,
+)
+from .dataset import (
+    BUG_FREE_KEY,
+    MemorySimulationCache,
+    Observation,
+    SimulationCache,
+)
+from .detector import (
+    DetectionSetup,
+    EvaluationResult,
+    FoldResult,
+    TwoStageDetector,
+)
+from .metrics import DetectionMetrics, compute_metrics, roc_auc, roc_curve
+from .probe import Probe, build_probes
+from .stage1 import ProbeModel, ProbeModelConfig
+from .stage2 import RuleBasedClassifier
+
+__all__ = [
+    "Probe",
+    "build_probes",
+    "SimulationCache",
+    "MemorySimulationCache",
+    "Observation",
+    "BUG_FREE_KEY",
+    "select_counters",
+    "manual_counter_set",
+    "MIN_COUNTERS",
+    "MAX_COUNTERS",
+    "ProbeModel",
+    "ProbeModelConfig",
+    "RuleBasedClassifier",
+    "DetectionSetup",
+    "TwoStageDetector",
+    "EvaluationResult",
+    "FoldResult",
+    "SingleStageBaseline",
+    "DetectionMetrics",
+    "compute_metrics",
+    "roc_auc",
+    "roc_curve",
+]

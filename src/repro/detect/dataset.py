@@ -1,0 +1,124 @@
+"""Simulation data collection and caching for the detection pipeline.
+
+Running a probe on a microarchitecture (with or without an injected bug) is by
+far the most expensive operation in the methodology, and the same (probe,
+design, bug) observation is reused by several experiments — stage-1 training,
+stage-2 training, every leave-one-bug-type-out fold, and the ablations.  The
+:class:`SimulationCache` memoises those runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coresim.counters import CounterTimeSeries
+from ..coresim.hooks import CoreBugModel
+from ..coresim.simulator import simulate_trace
+from ..memsim.hooks import MemoryBugModel
+from ..memsim.simulator import simulate_memory_trace
+from ..uarch.config import MemoryHierarchyConfig, MicroarchConfig
+from .probe import Probe
+
+#: Bug key used for bug-free observations.
+BUG_FREE_KEY = "bug-free"
+
+
+@dataclass
+class Observation:
+    """One simulated (probe, design, bug) data point."""
+
+    probe_name: str
+    config_name: str
+    bug_name: str
+    series: CounterTimeSeries
+    ipc: float
+    target_metric: float
+
+
+class SimulationCache:
+    """Memoised core-simulator runs keyed by (probe, design, bug)."""
+
+    def __init__(self, step_cycles: int = 2048) -> None:
+        self.step_cycles = step_cycles
+        self._cache: dict[tuple[str, str, str], Observation] = {}
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(
+        self,
+        probe: Probe,
+        config: MicroarchConfig,
+        bug: CoreBugModel | None = None,
+    ) -> Observation:
+        """Return the observation, simulating on first use."""
+        bug_name = bug.name if bug is not None else BUG_FREE_KEY
+        key = (probe.name, config.name, bug_name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.misses += 1
+        result = simulate_trace(
+            config, probe.trace, bug=bug, step_cycles=self.step_cycles
+        )
+        observation = Observation(
+            probe_name=probe.name,
+            config_name=config.name,
+            bug_name=bug_name,
+            series=result.series,
+            ipc=result.ipc,
+            target_metric=result.ipc,
+        )
+        self._cache[key] = observation
+        return observation
+
+
+class MemorySimulationCache:
+    """Memoised memory-hierarchy runs keyed by (probe, design, bug)."""
+
+    def __init__(self, step_instructions: int = 2000, target_metric: str = "amat") -> None:
+        if target_metric not in ("amat", "ipc"):
+            raise ValueError("target_metric must be 'amat' or 'ipc'")
+        self.step_instructions = step_instructions
+        self.target_metric = target_metric
+        self._cache: dict[tuple[str, str, str], Observation] = {}
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(
+        self,
+        probe: Probe,
+        config: MemoryHierarchyConfig,
+        bug: MemoryBugModel | None = None,
+    ) -> Observation:
+        bug_name = bug.name if bug is not None else BUG_FREE_KEY
+        key = (probe.name, config.name, bug_name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.misses += 1
+        result = simulate_memory_trace(
+            config, probe.trace, bug=bug, step_instructions=self.step_instructions
+        )
+        series = result.series
+        if self.target_metric == "amat":
+            # Swap the target series so the generic stage-1 machinery (which
+            # regresses ``series.ipc``) models AMAT instead.
+            series = CounterTimeSeries(
+                step_cycles=series.step_cycles,
+                counters=dict(series.counters),
+                ipc=series.counters["mem.amat"].copy(),
+            )
+        observation = Observation(
+            probe_name=probe.name,
+            config_name=config.name,
+            bug_name=bug_name,
+            series=series,
+            ipc=result.ipc,
+            target_metric=result.amat if self.target_metric == "amat" else result.ipc,
+        )
+        self._cache[key] = observation
+        return observation

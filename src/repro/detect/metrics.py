@@ -1,0 +1,107 @@
+"""Detection-quality metrics: TPR, FPR, precision and ROC AUC (Equation 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DetectionMetrics:
+    """Aggregate detection metrics over a set of labelled predictions."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+    roc_auc: float
+
+    @property
+    def positives(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def negatives(self) -> int:
+        return self.true_negatives + self.false_positives
+
+    @property
+    def tpr(self) -> float:
+        return self.true_positives / self.positives if self.positives else 0.0
+
+    @property
+    def fpr(self) -> float:
+        return self.false_positives / self.negatives if self.negatives else 0.0
+
+    @property
+    def precision(self) -> float:
+        predicted_positive = self.true_positives + self.false_positives
+        if predicted_positive == 0:
+            # The paper reports precision 1.0 for detectors that flag nothing
+            # incorrectly; follow the same convention when nothing is flagged.
+            return 1.0
+        return self.true_positives / predicted_positive
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties receive half credit.  Returns 0.5 when either class is absent.
+    """
+    labels = np.asarray(labels, dtype=bool)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    positives = scores[labels]
+    negatives = scores[~labels]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    greater = (positives[:, None] > negatives[None, :]).sum()
+    ties = (positives[:, None] == negatives[None, :]).sum()
+    return float((greater + 0.5 * ties) / (len(positives) * len(negatives)))
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(FPR, TPR) points swept over every distinct score threshold."""
+    labels = np.asarray(labels, dtype=bool)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    thresholds = np.concatenate(([np.inf], np.sort(np.unique(scores))[::-1], [-np.inf]))
+    positives = labels.sum()
+    negatives = (~labels).sum()
+    fpr_points = []
+    tpr_points = []
+    for threshold in thresholds:
+        predicted = scores >= threshold
+        tp = int(np.sum(predicted & labels))
+        fp = int(np.sum(predicted & ~labels))
+        tpr_points.append(tp / positives if positives else 0.0)
+        fpr_points.append(fp / negatives if negatives else 0.0)
+    return np.asarray(fpr_points), np.asarray(tpr_points)
+
+
+def compute_metrics(
+    labels: list[bool] | np.ndarray,
+    predictions: list[bool] | np.ndarray,
+    scores: list[float] | np.ndarray | None = None,
+) -> DetectionMetrics:
+    """Build :class:`DetectionMetrics` from labels, hard predictions and scores."""
+    labels_arr = np.asarray(labels, dtype=bool)
+    preds_arr = np.asarray(predictions, dtype=bool)
+    if labels_arr.shape != preds_arr.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    tp = int(np.sum(preds_arr & labels_arr))
+    fp = int(np.sum(preds_arr & ~labels_arr))
+    tn = int(np.sum(~preds_arr & ~labels_arr))
+    fn = int(np.sum(~preds_arr & labels_arr))
+    auc = 0.5
+    if scores is not None and len(labels_arr):
+        auc = roc_auc(labels_arr, np.asarray(scores, dtype=float))
+    return DetectionMetrics(
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+        roc_auc=auc,
+    )

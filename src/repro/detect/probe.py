@@ -1,0 +1,82 @@
+"""Performance probes: SimPoint microbenchmarks plus per-probe counters.
+
+A *probe* (Section III-B) is a short microbenchmark extracted from a long
+workload via SimPoint, together with the subset of performance counters
+selected for it.  Counters are selected later (after bug-free training data
+exists) by :mod:`repro.detect.counter_selection`; a freshly built probe starts
+with no counters attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simpoint.simpoint import SimPoint, select_simpoints
+from ..workloads.isa import MicroOp
+from ..workloads.spec2006 import workload
+from ..workloads.synth import build_program
+
+
+@dataclass
+class Probe:
+    """One performance probe."""
+
+    simpoint: SimPoint
+    counters: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.simpoint.name
+
+    @property
+    def benchmark(self) -> str:
+        return self.simpoint.benchmark
+
+    @property
+    def trace(self) -> list[MicroOp]:
+        return self.simpoint.trace
+
+    @property
+    def weight(self) -> float:
+        return self.simpoint.weight
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Probe {self.name} ({len(self.trace)} instrs, {len(self.counters)} counters)>"
+
+
+def build_probes(
+    benchmarks: list[str],
+    instructions_per_benchmark: int,
+    interval_size: int,
+    max_simpoints_per_benchmark: int = 8,
+    seed: int = 0,
+) -> list[Probe]:
+    """Extract probes from *benchmarks* via the SimPoint pipeline.
+
+    Parameters
+    ----------
+    benchmarks:
+        SPEC-like benchmark names (see :data:`repro.workloads.SPEC2006_BENCHMARKS`).
+    instructions_per_benchmark:
+        Length of each benchmark's profiling trace.
+    interval_size:
+        Instructions per SimPoint interval (i.e. per probe trace).
+    max_simpoints_per_benchmark:
+        Upper bound on clusters considered by the BIC selection.
+    seed:
+        Base seed; each benchmark is offset deterministically.
+    """
+    if not benchmarks:
+        raise ValueError("at least one benchmark is required")
+    probes: list[Probe] = []
+    for index, name in enumerate(benchmarks):
+        program = build_program(workload(name), seed=seed + index)
+        selection = select_simpoints(
+            program,
+            total_instructions=instructions_per_benchmark,
+            interval_size=interval_size,
+            max_simpoints=max_simpoints_per_benchmark,
+            seed=seed + index,
+        )
+        probes.extend(Probe(simpoint=sp) for sp in selection)
+    return probes

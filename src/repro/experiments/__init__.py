@@ -1,0 +1,19 @@
+"""Reproduction harness: one module per table/figure of the paper's evaluation."""
+
+from .common import (
+    SCALES,
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentScale,
+    get_scale,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentContext",
+    "ExperimentResult",
+    "SCALES",
+    "get_scale",
+    "render_table",
+]

@@ -1,0 +1,323 @@
+"""Shared plumbing for the table/figure reproduction experiments.
+
+Every experiment module exposes ``run(scale, context) -> ExperimentResult``.
+The :class:`ExperimentScale` controls how much work is done (number of
+benchmarks, probe length, microarchitectures, bug variants, ML engines and
+training budget); ``smoke`` is sized for CI and the pytest benchmarks,
+``small`` for a laptop run, ``full`` approaches the paper's configuration.
+An :class:`ExperimentContext` owns the probe set and the simulation caches so
+that experiments sharing data do not repeat simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bugs.memory_bugs import memory_bug_suite
+from ..bugs.registry import core_bug_suite
+from ..detect.dataset import MemorySimulationCache, SimulationCache
+from ..detect.detector import DetectionSetup
+from ..detect.probe import Probe, build_probes
+from ..detect.stage1 import ProbeModelConfig
+from ..uarch.memory_presets import memory_set
+from ..uarch.presets import core_set
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs bounding the cost of an experiment run."""
+
+    name: str
+    benchmarks: tuple[str, ...]
+    instructions_per_benchmark: int
+    interval_size: int
+    max_simpoints: int
+    step_cycles: int
+    bug_variants_per_type: int
+    bug_types: tuple[str, ...] | None  # None = all 14 types
+    engines: tuple[str, ...]
+    default_engine: str
+    nn_max_epochs: int
+    nn_patience: int
+    train_arch_limit: int | None
+    stage2_arch_limit: int | None
+    test_arch_limit: int | None
+    memory_benchmarks: tuple[str, ...]
+    memory_instructions: int
+    memory_step_instructions: int
+    seed: int = 7
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    benchmarks=("403.gcc", "458.sjeng"),
+    instructions_per_benchmark=15_000,
+    interval_size=3_000,
+    max_simpoints=3,
+    step_cycles=512,
+    bug_variants_per_type=1,
+    bug_types=(
+        "Serialized",
+        "IfOldestIssueOnlyX",
+        "MispredictDelay",
+        "L2LatencyIncrease",
+        "RegisterReduction",
+    ),
+    engines=("Lasso", "GBT-150", "1-MLP-500"),
+    default_engine="GBT-150",
+    nn_max_epochs=40,
+    nn_patience=15,
+    train_arch_limit=None,
+    stage2_arch_limit=None,
+    test_arch_limit=None,
+    memory_benchmarks=("403.gcc", "426.mcf"),
+    memory_instructions=40_000,
+    memory_step_instructions=2_000,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    benchmarks=("400.perlbench", "403.gcc", "433.milc", "458.sjeng", "462.libquantum"),
+    instructions_per_benchmark=48_000,
+    interval_size=6_000,
+    max_simpoints=5,
+    step_cycles=512,
+    bug_variants_per_type=2,
+    bug_types=None,
+    engines=("Lasso", "1-LSTM-150", "1-CNN-150", "1-MLP-500", "GBT-150", "GBT-250"),
+    default_engine="GBT-250",
+    nn_max_epochs=120,
+    nn_patience=40,
+    train_arch_limit=None,
+    stage2_arch_limit=None,
+    test_arch_limit=None,
+    memory_benchmarks=("403.gcc", "426.mcf", "450.soplex", "462.libquantum"),
+    memory_instructions=80_000,
+    memory_step_instructions=2_000,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    benchmarks=(
+        "400.perlbench", "401.bzip2", "403.gcc", "426.mcf", "433.milc",
+        "436.cactusADM", "444.namd", "450.soplex", "458.sjeng", "462.libquantum",
+    ),
+    instructions_per_benchmark=200_000,
+    interval_size=10_000,
+    max_simpoints=10,
+    step_cycles=1_024,
+    bug_variants_per_type=3,
+    bug_types=None,
+    engines=(
+        "Lasso", "1-LSTM-150", "1-LSTM-250", "1-LSTM-500", "4-LSTM-150",
+        "1-CNN-150", "4-CNN-150", "1-MLP-500", "1-MLP-2500", "4-MLP-500",
+        "GBT-150", "GBT-250",
+    ),
+    default_engine="GBT-250",
+    nn_max_epochs=300,
+    nn_patience=100,
+    train_arch_limit=None,
+    stage2_arch_limit=None,
+    test_arch_limit=None,
+    memory_benchmarks=(
+        "400.perlbench", "403.gcc", "426.mcf", "433.milc", "450.soplex",
+        "458.sjeng", "462.libquantum",
+    ),
+    memory_instructions=200_000,
+    memory_step_instructions=4_000,
+)
+
+SCALES: dict[str, ExperimentScale] = {"smoke": SMOKE, "small": SMALL, "full": FULL}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale name or pass an explicit scale through."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; available: {sorted(SCALES)}") from None
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container: one table of rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, object]]
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Render the result as a fixed-width text table."""
+        return f"== {self.experiment_id}: {self.title} ==\n" + render_table(self.rows) + (
+            f"\n{self.notes}\n" if self.notes else ""
+        )
+
+
+def render_table(rows: list[dict[str, object]]) -> str:
+    """Format a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    formatted = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in formatted)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in formatted
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class ExperimentContext:
+    """Shared probes, caches and design sets for one scale."""
+
+    def __init__(self, scale: str | ExperimentScale = "smoke") -> None:
+        self.scale = get_scale(scale)
+        self._probes: list[Probe] | None = None
+        self._memory_probes: list[Probe] | None = None
+        self.cache = SimulationCache(step_cycles=self.scale.step_cycles)
+        self.memory_cache = MemorySimulationCache(
+            step_instructions=self.scale.memory_step_instructions, target_metric="amat"
+        )
+
+    # -- probes ----------------------------------------------------------------
+
+    @property
+    def probes(self) -> list[Probe]:
+        if self._probes is None:
+            self._probes = build_probes(
+                list(self.scale.benchmarks),
+                instructions_per_benchmark=self.scale.instructions_per_benchmark,
+                interval_size=self.scale.interval_size,
+                max_simpoints_per_benchmark=self.scale.max_simpoints,
+                seed=self.scale.seed,
+            )
+        return self._probes
+
+    @property
+    def memory_probes(self) -> list[Probe]:
+        if self._memory_probes is None:
+            self._memory_probes = build_probes(
+                list(self.scale.memory_benchmarks),
+                instructions_per_benchmark=self.scale.memory_instructions,
+                interval_size=self.scale.memory_instructions // 3,
+                max_simpoints_per_benchmark=3,
+                seed=self.scale.seed + 100,
+            )
+        return self._memory_probes
+
+    # -- design sets --------------------------------------------------------------
+
+    def core_designs(self) -> dict[str, list]:
+        """Sets I-IV of core designs, truncated according to the scale."""
+        scale = self.scale
+        sets = {name: core_set(name) for name in ("I", "II", "III", "IV")}
+        if scale.train_arch_limit is not None:
+            sets["I"] = sets["I"][: scale.train_arch_limit]
+        if scale.stage2_arch_limit is not None:
+            combined = sets["II"] + sets["III"]
+            kept = combined[: scale.stage2_arch_limit]
+            sets["II"] = [c for c in sets["II"] if c in kept] or sets["II"][:1]
+            sets["III"] = [c for c in sets["III"] if c in kept]
+        if scale.test_arch_limit is not None:
+            # Keep Skylake (the paper's running example) in the test set.
+            test = sets["IV"]
+            skylake = [c for c in test if c.name == "Skylake"]
+            others = [c for c in test if c.name != "Skylake"]
+            sets["IV"] = (skylake + others)[: scale.test_arch_limit]
+        return sets
+
+    def memory_designs(self) -> dict[str, list]:
+        return {name: memory_set(name) for name in ("I", "II", "III", "IV")}
+
+    # -- bug suites ------------------------------------------------------------------
+
+    def core_bugs(self) -> dict[str, list]:
+        suite = core_bug_suite(max_variants_per_type=self.scale.bug_variants_per_type)
+        if self.scale.bug_types is not None:
+            suite = {k: v for k, v in suite.items() if k in self.scale.bug_types}
+        return suite
+
+    def memory_bugs(self) -> dict[str, list]:
+        return memory_bug_suite(max_variants_per_type=self.scale.bug_variants_per_type)
+
+    # -- detector setup -----------------------------------------------------------------
+
+    def model_config(self, engine: str | None = None, **overrides) -> ProbeModelConfig:
+        params = dict(
+            engine=engine or self.scale.default_engine,
+            window=1,
+            use_arch_features=True,
+            max_epochs=self.scale.nn_max_epochs,
+            patience=self.scale.nn_patience,
+            seed=self.scale.seed,
+        )
+        params.update(overrides)
+        return ProbeModelConfig(**params)
+
+    def detection_setup(
+        self,
+        engine: str | None = None,
+        probes: list[Probe] | None = None,
+        cache: SimulationCache | None = None,
+        counter_selection: str = "auto",
+        presumed_bugfree_bug=None,
+        **model_overrides,
+    ) -> DetectionSetup:
+        """Standard core-study :class:`DetectionSetup` for this scale."""
+        sets = self.core_designs()
+        chosen_probes = probes if probes is not None else self.probes
+        return DetectionSetup(
+            probes=[Probe(simpoint=p.simpoint, counters=list(p.counters))
+                    for p in chosen_probes],
+            train_designs=sets["I"],
+            val_designs=sets["II"],
+            stage2_designs=sets["II"] + sets["III"],
+            test_designs=sets["IV"],
+            bug_suite=self.core_bugs(),
+            cache=cache if cache is not None else self.cache,
+            model_config=self.model_config(engine, **model_overrides),
+            counter_selection=counter_selection,
+            presumed_bugfree_bug=presumed_bugfree_bug,
+        )
+
+    def memory_detection_setup(
+        self, engine: str | None = None, target_metric: str = "amat"
+    ) -> DetectionSetup:
+        """Memory-study :class:`DetectionSetup` (Section IV-D / Table VII)."""
+        sets = self.memory_designs()
+        if target_metric == "amat":
+            cache = self.memory_cache
+        else:
+            cache = MemorySimulationCache(
+                step_instructions=self.scale.memory_step_instructions,
+                target_metric="ipc",
+            )
+        return DetectionSetup(
+            probes=[Probe(simpoint=p.simpoint) for p in self.memory_probes],
+            train_designs=sets["I"],
+            val_designs=sets["II"],
+            stage2_designs=sets["II"] + sets["III"],
+            test_designs=sets["IV"],
+            bug_suite=self.memory_bugs(),
+            cache=cache,
+            model_config=self.model_config(engine),
+            counter_selection="auto",
+            target_higher_is_better=(target_metric == "ipc"),
+        )

@@ -1,0 +1,69 @@
+"""Figure 3: per-SimPoint IPC of 403.gcc, bug-free vs Bug 1, on Skylake.
+
+Shows why probe-level analysis beats whole-application analysis: Bug 1 ("if
+xor is oldest in the IQ, issue only xor") barely moves whole-program IPC but
+sharply degrades the xor-heavy SimPoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bugs.registry import figure1_bug1
+from ..uarch.presets import core_microarch
+from ..workloads.isa import Opcode
+from .common import ExperimentContext, ExperimentResult, get_scale
+
+EXPERIMENT_ID = "fig3"
+TITLE = "IPC by SimPoint for 403.gcc, bug-free vs Bug 1 (Figure 3)"
+
+
+def run(scale: str = "smoke", context: ExperimentContext | None = None) -> ExperimentResult:
+    """Regenerate the per-SimPoint IPC comparison of Figure 3."""
+    context = context or ExperimentContext(get_scale(scale))
+    skylake = core_microarch("Skylake")
+    bug = figure1_bug1()
+    probes = [p for p in context.probes if p.benchmark == "403.gcc"]
+    if not probes:
+        raise RuntimeError("the scale's benchmark list must include 403.gcc")
+
+    rows: list[dict[str, object]] = []
+    clean_weighted = 0.0
+    buggy_weighted = 0.0
+    total_weight = 0.0
+    for probe in probes:
+        clean = context.cache.get(probe, skylake, None)
+        buggy = context.cache.get(probe, skylake, bug)
+        relative = buggy.ipc / clean.ipc if clean.ipc > 0 else 0.0
+        rows.append(
+            {
+                "SimPoint": probe.name,
+                "xor fraction": probe.simpoint.opcode_fraction(Opcode.XOR),
+                "IPC (bug-free)": clean.ipc,
+                "IPC (Bug 1)": buggy.ipc,
+                "Bug 1 / bug-free": relative,
+            }
+        )
+        clean_weighted += clean.ipc * probe.weight
+        buggy_weighted += buggy.ipc * probe.weight
+        total_weight += probe.weight
+
+    whole_program = buggy_weighted / clean_weighted if clean_weighted > 0 else 0.0
+    worst = min((row["Bug 1 / bug-free"] for row in rows), default=1.0)
+    rows.append(
+        {
+            "SimPoint": "403.gcc (whole program)",
+            "xor fraction": float(
+                np.mean([row["xor fraction"] for row in rows]) if rows else 0.0
+            ),
+            "IPC (bug-free)": clean_weighted / total_weight if total_weight else 0.0,
+            "IPC (Bug 1)": buggy_weighted / total_weight if total_weight else 0.0,
+            "Bug 1 / bug-free": whole_program,
+        }
+    )
+    notes = (
+        f"Whole-program impact {100 * (1 - whole_program):.1f}% vs worst SimPoint impact "
+        f"{100 * (1 - worst):.1f}% — the paper reports <1% whole-program vs >20% on its "
+        "xor-heavy SimPoint #12."
+    )
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes)

@@ -1,0 +1,62 @@
+"""Figure 5: inferred vs simulated IPC time series on bug-free designs.
+
+Reports, for a few representative probes on Skylake, the simulated IPC series
+alongside each engine's inferred series and the resulting per-probe error —
+the textual equivalent of the figure's line plots.
+"""
+
+from __future__ import annotations
+
+from ..detect.detector import TwoStageDetector
+from ..ml.metrics import inference_error
+from ..uarch.presets import core_microarch
+from .common import ExperimentContext, ExperimentResult, get_scale
+
+EXPERIMENT_ID = "fig5"
+TITLE = "ML-based IPC inference vs simulation on bug-free designs (Figure 5)"
+
+#: Maximum number of probes reported (the paper shows three).
+MAX_PROBES = 3
+
+
+def run(scale: str = "smoke", context: ExperimentContext | None = None) -> ExperimentResult:
+    """Regenerate the Figure-5 comparison for the scale's engines."""
+    context = context or ExperimentContext(get_scale(scale))
+    skylake = core_microarch("Skylake")
+    engines = list(context.scale.engines)
+    probes = context.probes[:MAX_PROBES]
+
+    detectors = {}
+    for engine in engines:
+        setup = context.detection_setup(engine=engine)
+        detector = TwoStageDetector(setup)
+        detector.prepare()
+        detectors[engine] = detector
+
+    rows: list[dict[str, object]] = []
+    series_dump: list[str] = []
+    for probe_index, probe in enumerate(probes):
+        observation = context.cache.get(probe, skylake, None)
+        row: dict[str, object] = {
+            "Probe": probe.name,
+            "Steps": observation.series.num_steps,
+            "Mean simulated IPC": float(observation.series.ipc.mean()),
+        }
+        for engine, detector in detectors.items():
+            model = detector.models[detector.setup.probes[
+                context.probes.index(probe)].name]
+            simulated, inferred = model.predict_series(
+                observation.series, skylake.feature_vector()
+            )
+            row[f"{engine} error"] = inference_error(simulated, inferred)
+            if probe_index == 0:
+                series_dump.append(
+                    f"{probe.name} / {engine}: simulated="
+                    + ",".join(f"{v:.3f}" for v in simulated[:10])
+                    + " inferred="
+                    + ",".join(f"{v:.3f}" for v in inferred[:10])
+                )
+        rows.append(row)
+
+    notes = "First probe's leading time steps:\n  " + "\n  ".join(series_dump)
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes)

@@ -1,0 +1,89 @@
+"""Figure 9: effect of reducing the number of probes on detection quality.
+
+Probes are removed either (a) highest stage-1 inference error first or (b) in
+random order, and TPR/FPR are re-evaluated for each reduced probe set.  Stage-1
+models are per probe, so they are trained once and shared across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..detect.detector import DetectionSetup, TwoStageDetector
+from .common import ExperimentContext, ExperimentResult, get_scale
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Effect of removing probes (Figure 9)"
+
+
+def _subset_detector(
+    base: TwoStageDetector, probe_names: list[str]
+) -> TwoStageDetector:
+    """A detector over a subset of an already-prepared detector's probes."""
+    setup = base.setup
+    subset = [p for p in setup.probes if p.name in probe_names]
+    new_setup = DetectionSetup(
+        probes=subset,
+        train_designs=setup.train_designs,
+        val_designs=setup.val_designs,
+        stage2_designs=setup.stage2_designs,
+        test_designs=setup.test_designs,
+        bug_suite=setup.bug_suite,
+        cache=setup.cache,
+        model_config=setup.model_config,
+        counter_selection=setup.counter_selection,
+        target_higher_is_better=setup.target_higher_is_better,
+        presumed_bugfree_bug=setup.presumed_bugfree_bug,
+    )
+    detector = TwoStageDetector(new_setup)
+    detector.models = {name: base.models[name] for name in probe_names}
+    detector._prepared = True
+    return detector
+
+
+def run(scale: str = "smoke", context: ExperimentContext | None = None) -> ExperimentResult:
+    """Regenerate the probe-reduction sweep of Figure 9."""
+    context = context or ExperimentContext(get_scale(scale))
+    setup = context.detection_setup()
+    base = TwoStageDetector(setup)
+    base.prepare()
+
+    # Rank probes by their bug-free inference error on the test designs.
+    mean_errors = {}
+    for probe in setup.probes:
+        errors = []
+        for design in setup.test_designs:
+            features = design.feature_vector()
+            observation = setup.cache.get(probe, design, None)
+            errors.append(base.models[probe.name].inference_error(observation.series,
+                                                                  features))
+        mean_errors[probe.name] = float(np.mean(errors))
+
+    all_names = [p.name for p in setup.probes]
+    by_error = sorted(all_names, key=lambda name: -mean_errors[name])
+    rng = np.random.default_rng(context.scale.seed)
+    random_order = list(rng.permutation(all_names))
+
+    step = max(1, len(all_names) // 4)
+    rows: list[dict[str, object]] = []
+    for order_name, order in (("By error", by_error), ("Random order", random_order)):
+        removed = 0
+        while len(all_names) - removed >= max(2, step):
+            kept = [n for n in all_names if n not in set(order[:removed])]
+            detector = _subset_detector(base, kept)
+            result = detector.evaluate()
+            rows.append(
+                {
+                    "Order": order_name,
+                    "Probes kept": len(kept),
+                    "TPR": result.overall.tpr,
+                    "FPR": result.overall.fpr,
+                }
+            )
+            removed += step
+
+    notes = (
+        "The paper finds quality degrades only slowly as probes are removed "
+        "(TPR drops / FPR rises gradually), for both removal orders."
+    )
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes)

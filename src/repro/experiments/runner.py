@@ -1,0 +1,92 @@
+"""Run every table/figure experiment and render a combined report.
+
+Usage::
+
+    python -m repro.experiments.runner --scale smoke
+    python -m repro.experiments.runner --scale small --only tab5 tab7
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable
+
+from . import (
+    fig1_speedup,
+    fig3_simpoint_ipc,
+    fig4_severity,
+    fig5_traces,
+    fig6_bug_vs_bugfree,
+    fig8_roc,
+    fig9_probes,
+    fig10_counters,
+    fig11_timestep,
+    fig12_arch_features,
+    fig13_training_archs,
+    table4_ipc_modeling,
+    table5_detection,
+    table6_window,
+    table7_memory,
+)
+from .common import ExperimentContext, ExperimentResult, get_scale
+
+#: All experiments in paper order: id -> run callable.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_speedup.run,
+    "fig3": fig3_simpoint_ipc.run,
+    "fig4": fig4_severity.run,
+    "tab4": table4_ipc_modeling.run,
+    "fig5": fig5_traces.run,
+    "fig6": fig6_bug_vs_bugfree.run,
+    "tab5": table5_detection.run,
+    "fig8": fig8_roc.run,
+    "fig9": fig9_probes.run,
+    "fig10": fig10_counters.run,
+    "fig11": fig11_timestep.run,
+    "tab6": table6_window.run,
+    "fig12": fig12_arch_features.run,
+    "fig13": fig13_training_archs.run,
+    "tab7": table7_memory.run,
+}
+
+
+def run_all(
+    scale: str = "smoke",
+    only: list[str] | None = None,
+    context: ExperimentContext | None = None,
+) -> list[ExperimentResult]:
+    """Run the selected experiments, sharing one context, and return results."""
+    chosen = list(EXPERIMENTS) if not only else [e for e in EXPERIMENTS if e in set(only)]
+    unknown = set(only or []) - set(EXPERIMENTS)
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
+    context = context or ExperimentContext(get_scale(scale))
+    results = []
+    for experiment_id in chosen:
+        results.append(EXPERIMENTS[experiment_id](scale=scale, context=context))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "full"])
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--output", default=None,
+                        help="optional path to write the combined report")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    results = run_all(scale=args.scale, only=args.only)
+    report = "\n\n".join(result.to_text() for result in results)
+    report += f"\n\nTotal runtime: {time.time() - start:.1f}s at scale '{args.scale}'\n"
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

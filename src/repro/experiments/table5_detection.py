@@ -1,0 +1,68 @@
+"""Table V: end-to-end bug-detection results.
+
+Rows:
+
+* the naive single-stage voting baseline (Section II),
+* the two-stage methodology with each stage-1 engine enabled at this scale,
+* the two-stage methodology (default engine) trained on designs presumed
+  bug-free that actually contain Bug 1 / Bug 2 (the "buggy training" rows).
+
+Each row reports FPR, TPR, ROC AUC, precision and per-severity TPR under the
+leave-one-bug-type-out protocol of Figure 7.
+"""
+
+from __future__ import annotations
+
+from ..bugs.base import Severity
+from ..bugs.registry import tableV_bug1, tableV_bug2
+from ..detect.baseline import SingleStageBaseline
+from ..detect.detector import EvaluationResult, TwoStageDetector
+from .common import ExperimentContext, ExperimentResult, get_scale
+
+EXPERIMENT_ID = "tab5"
+TITLE = "Bug detection results (Table V)"
+
+
+def _row(label: str, engine: str, result: EvaluationResult) -> dict[str, object]:
+    row: dict[str, object] = {
+        "Training": label,
+        "Stage 1 ML Model": engine,
+        "FPR": result.overall.fpr,
+        "TPR": result.overall.tpr,
+        "ROC AUC": result.overall.roc_auc,
+        "Precision": result.overall.precision,
+    }
+    for severity in (Severity.HIGH, Severity.MEDIUM, Severity.LOW, Severity.VERY_LOW):
+        row[f"TPR {severity.value}"] = result.tpr_by_severity.get(severity, float("nan"))
+    return row
+
+
+def run(scale: str = "smoke", context: ExperimentContext | None = None) -> ExperimentResult:
+    """Regenerate Table V for the engines enabled at this scale."""
+    context = context or ExperimentContext(get_scale(scale))
+    rows: list[dict[str, object]] = []
+
+    # Single-stage baseline (uses the default engine as its classifier family).
+    baseline_setup = context.detection_setup()
+    baseline = SingleStageBaseline(setup=baseline_setup)
+    rows.append(_row("NoBug", "Single-stage baseline", baseline.evaluate()))
+
+    # Two-stage methodology, one row per stage-1 engine.
+    for engine in context.scale.engines:
+        setup = context.detection_setup(engine=engine)
+        detector = TwoStageDetector(setup)
+        rows.append(_row("NoBug", engine, detector.evaluate()))
+
+    # "Buggy training" rows: legacy designs presumed bug-free actually carry a bug.
+    for label, bug in (("Bug1", tableV_bug1()), ("Bug2", tableV_bug2())):
+        setup = context.detection_setup(presumed_bugfree_bug=bug)
+        detector = TwoStageDetector(setup)
+        rows.append(_row(label, context.scale.default_engine, detector.evaluate()))
+
+    notes = (
+        "Paper headline (GBT-250, all 14 bug types, 190 probes): TPR 0.84 overall, "
+        "91.5% for bugs with >=1% IPC impact, FPR 0.00, precision 1.00, ROC AUC 0.90; "
+        "single-stage baseline TPR 0.75.  Buggy-training rows degrade to ~0.7 TPR with "
+        "a few false positives."
+    )
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, notes)

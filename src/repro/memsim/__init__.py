@@ -1,0 +1,34 @@
+"""Trace-driven memory-hierarchy simulator (ChampSim stand-in)."""
+
+from .cache import ReplacementCache
+from .hooks import MEM_BUG_FREE, MemoryBugModel
+from .prefetcher import (
+    NextLinePrefetcher,
+    NoPrefetcher,
+    PrefetchRequest,
+    Prefetcher,
+    SignaturePathPrefetcher,
+    build_prefetcher,
+)
+from .simulator import (
+    DEFAULT_STEP_INSTRUCTIONS,
+    MemoryHierarchySim,
+    MemSimResult,
+    simulate_memory_trace,
+)
+
+__all__ = [
+    "ReplacementCache",
+    "MemoryBugModel",
+    "MEM_BUG_FREE",
+    "Prefetcher",
+    "NoPrefetcher",
+    "NextLinePrefetcher",
+    "SignaturePathPrefetcher",
+    "PrefetchRequest",
+    "build_prefetcher",
+    "MemoryHierarchySim",
+    "MemSimResult",
+    "simulate_memory_trace",
+    "DEFAULT_STEP_INSTRUCTIONS",
+]

@@ -1,0 +1,55 @@
+"""Bug-injection hook interface for the memory-hierarchy simulator.
+
+Mirrors :mod:`repro.coresim.hooks` for the ChampSim-like cache-hierarchy model
+used in the memory-system study (Section IV-D).  The six memory bug classes of
+the paper are expressed through these hooks.
+"""
+
+from __future__ import annotations
+
+
+class MemoryBugModel:
+    """No-op memory bug model (bug-free hierarchy behaviour)."""
+
+    name: str = "bug-free"
+
+    def on_simulation_start(self, config) -> None:
+        """Called once before simulation; may reset internal state."""
+
+    # -- replacement policy -------------------------------------------------
+
+    def update_replacement_on_access(self, level: str) -> bool:
+        """False to skip the LRU age update on an access hit (bug 1)."""
+        return True
+
+    def evict_most_recently_used(self, level: str) -> bool:
+        """True to evict the MRU block instead of the LRU block (bug 2)."""
+        return False
+
+    # -- miss handling -------------------------------------------------------
+
+    def load_miss_extra_delay(self, level: str, miss_count: int) -> int:
+        """Extra cycles added to a load miss at *level* (bug 3).
+
+        *miss_count* is the cumulative number of load misses observed at that
+        level, so "after N misses, delay reads by T cycles" is expressible.
+        """
+        return 0
+
+    # -- SPP prefetcher ------------------------------------------------------
+
+    def spp_corrupt_signature(self, signature: int) -> int:
+        """Possibly corrupt the SPP signature (bug 4 resets it to zero)."""
+        return signature
+
+    def spp_pick_least_confident(self) -> bool:
+        """True to make lookahead follow the least-confident path (bug 5)."""
+        return False
+
+    def spp_drop_prefetch(self, prefetch_index: int) -> bool:
+        """True to mark this prefetch as executed without issuing it (bug 6)."""
+        return False
+
+
+#: Shared bug-free instance.
+MEM_BUG_FREE = MemoryBugModel()

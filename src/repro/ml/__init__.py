@@ -1,0 +1,48 @@
+"""From-scratch NumPy ML engines for stage-1 performance modelling."""
+
+from .base import FitResult, Regressor
+from .cnn import CNNRegressor
+from .engines import TABLE_IV_ENGINES, build_model
+from .gbt import GradientBoostedTrees
+from .linear import LassoRegressor
+from .lstm import LSTMRegressor
+from .metrics import (
+    inference_error,
+    mean_absolute_error,
+    mean_squared_error,
+    pearson_correlation,
+    r_squared,
+)
+from .mlp import MLPRegressor
+from .optim import Adam, clip_gradients
+from .preprocessing import (
+    StandardScaler,
+    as_windows,
+    flatten_windows,
+    make_window_dataset,
+)
+from .tree import RegressionTree
+
+__all__ = [
+    "Regressor",
+    "FitResult",
+    "LassoRegressor",
+    "MLPRegressor",
+    "CNNRegressor",
+    "LSTMRegressor",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "build_model",
+    "TABLE_IV_ENGINES",
+    "Adam",
+    "clip_gradients",
+    "StandardScaler",
+    "flatten_windows",
+    "as_windows",
+    "make_window_dataset",
+    "inference_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "pearson_correlation",
+    "r_squared",
+]

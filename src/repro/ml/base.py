@@ -1,0 +1,52 @@
+"""Common interface for the stage-1 regression engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class FitResult:
+    """Training diagnostics returned by :meth:`Regressor.fit`."""
+
+    train_loss: float
+    val_loss: Optional[float] = None
+    epochs_run: int = 0
+    history: list[float] = field(default_factory=list)
+
+
+class Regressor:
+    """Base class for every IPC/AMAT inference engine.
+
+    Inputs are ``(n_samples, window, n_features)`` tensors (a 2-D matrix is
+    accepted and treated as window size 1).  Engines that ignore temporal
+    structure flatten the window dimension.
+    """
+
+    #: Short name used in result tables (overridden per instance).
+    name: str = "regressor"
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+def validate_training_inputs(X: np.ndarray, y: np.ndarray) -> None:
+    """Shared sanity checks for ``fit`` implementations."""
+    if len(X) == 0:
+        raise ValueError("training data must not be empty")
+    if len(X) != len(y):
+        raise ValueError(f"X has {len(X)} samples but y has {len(y)}")
+    if not np.all(np.isfinite(np.asarray(y, dtype=float))):
+        raise ValueError("training targets contain non-finite values")

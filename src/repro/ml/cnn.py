@@ -1,0 +1,230 @@
+"""1-D convolutional network regressor (Keras CNN stand-in).
+
+Following the paper (and its references Eren et al. / Lee et al.), the per-step
+feature vector is treated as a 1-D signal: convolution layers slide along the
+feature dimension, followed by global average pooling and a linear output.
+``1-CNN-150`` means one convolution layer with 150 filters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FitResult, Regressor, validate_training_inputs
+from .metrics import mean_squared_error
+from .optim import Adam, clip_gradients
+from .preprocessing import StandardScaler, flatten_windows
+
+
+def _im2col(x: np.ndarray, kernel: int) -> np.ndarray:
+    """(n, length, channels) -> (n, length - k + 1, k * channels) patches."""
+    n, length, channels = x.shape
+    out_length = length - kernel + 1
+    patches = np.empty((n, out_length, kernel * channels))
+    for offset in range(kernel):
+        patches[:, :, offset * channels : (offset + 1) * channels] = x[
+            :, offset : offset + out_length, :
+        ]
+    return patches
+
+
+class CNNRegressor(Regressor):
+    """Stacked 1-D convolutions + global average pooling + linear output."""
+
+    def __init__(
+        self,
+        conv_layers: int = 1,
+        filters: int = 150,
+        kernel_size: int = 3,
+        learning_rate: float = 1e-3,
+        max_epochs: int = 200,
+        patience: int = 100,
+        batch_size: int = 32,
+        grad_clip: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if conv_layers < 1 or filters < 1 or kernel_size < 1:
+            raise ValueError("conv_layers, filters and kernel_size must be positive")
+        self.conv_layers = conv_layers
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.name = f"{conv_layers}-CNN-{filters}"
+        self._conv_weights: list[np.ndarray] = []
+        self._conv_biases: list[np.ndarray] = []
+        self._dense_w: np.ndarray | None = None
+        self._dense_b: np.ndarray | None = None
+        self._scaler = StandardScaler()
+        self._input_length = 0
+
+    # -- construction / forward / backward ---------------------------------------
+
+    def _init_params(self, length: int, rng: np.random.Generator) -> None:
+        self._input_length = length
+        self._conv_weights = []
+        self._conv_biases = []
+        in_channels = 1
+        current_length = length
+        for _ in range(self.conv_layers):
+            kernel = min(self.kernel_size, current_length)
+            fan_in = kernel * in_channels
+            self._conv_weights.append(
+                rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, self.filters))
+            )
+            self._conv_biases.append(np.zeros(self.filters))
+            current_length = current_length - kernel + 1
+            in_channels = self.filters
+        self._dense_w = rng.normal(0.0, np.sqrt(2.0 / self.filters),
+                                   size=(self.filters, 1))
+        self._dense_b = np.zeros(1)
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, dict]:
+        cache: dict = {"inputs": [], "patches": [], "pre_relu": []}
+        out = X[:, :, None]  # (n, length, 1)
+        for W, b in zip(self._conv_weights, self._conv_biases):
+            kernel = W.shape[0] // out.shape[2]
+            patches = _im2col(out, kernel)
+            cache["inputs"].append(out)
+            cache["patches"].append(patches)
+            pre = patches @ W + b
+            cache["pre_relu"].append(pre)
+            out = np.maximum(pre, 0.0)
+        pooled = out.mean(axis=1)  # (n, filters)
+        cache["pooled_input"] = out
+        cache["pooled"] = pooled
+        prediction = (pooled @ self._dense_w + self._dense_b)[:, 0]
+        return prediction, cache
+
+    def _backward(self, cache: dict, error: np.ndarray) -> list[np.ndarray]:
+        n = len(error)
+        pooled = cache["pooled"]
+        delta_out = error[:, None] / n
+        grad_dense_w = pooled.T @ delta_out
+        grad_dense_b = delta_out.sum(axis=0)
+        delta_pooled = delta_out @ self._dense_w.T  # (n, filters)
+
+        conv_out = cache["pooled_input"]
+        positions = conv_out.shape[1]
+        delta = np.repeat(delta_pooled[:, None, :], positions, axis=1) / positions
+
+        conv_w_grads: list[np.ndarray] = []
+        conv_b_grads: list[np.ndarray] = []
+        for layer in range(self.conv_layers - 1, -1, -1):
+            pre = cache["pre_relu"][layer]
+            patches = cache["patches"][layer]
+            delta = delta * (pre > 0.0)
+            W = self._conv_weights[layer]
+            flat_delta = delta.reshape(-1, delta.shape[2])
+            flat_patches = patches.reshape(-1, patches.shape[2])
+            conv_w_grads.insert(0, flat_patches.T @ flat_delta)
+            conv_b_grads.insert(0, flat_delta.sum(axis=0))
+            if layer > 0:
+                # Propagate into the previous layer's output via col2im.
+                d_patches = delta @ W.T  # (n, out_len, k*C_in)
+                inputs = cache["inputs"][layer]
+                kernel = W.shape[0] // inputs.shape[2]
+                d_input = np.zeros_like(inputs)
+                out_len = d_patches.shape[1]
+                channels = inputs.shape[2]
+                for offset in range(kernel):
+                    d_input[:, offset : offset + out_len, :] += d_patches[
+                        :, :, offset * channels : (offset + 1) * channels
+                    ]
+                delta = d_input
+
+        grads: list[np.ndarray] = []
+        for gw, gb in zip(conv_w_grads, conv_b_grads):
+            grads.extend([gw, gb])
+        grads.extend([grad_dense_w, grad_dense_b])
+        return grads
+
+    # -- public API -----------------------------------------------------------------
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        X = flatten_windows(X_train)
+        y = np.asarray(y_train, dtype=float)
+        validate_training_inputs(X, y)
+        X = self._scaler.fit_transform(X)
+        rng = np.random.default_rng(self.seed)
+        self._init_params(X.shape[1], rng)
+
+        has_val = X_val is not None and y_val is not None and len(y_val) > 0
+        X_validation = (
+            self._scaler.transform(flatten_windows(X_val)) if has_val else None
+        )
+        y_validation = np.asarray(y_val, dtype=float) if has_val else None
+
+        params: list[np.ndarray] = []
+        for W, b in zip(self._conv_weights, self._conv_biases):
+            params.extend([W, b])
+        params.extend([self._dense_w, self._dense_b])
+        optimizer = Adam(params, learning_rate=self.learning_rate)
+
+        best_val = np.inf
+        best_params = [p.copy() for p in params]
+        stale = 0
+        history: list[float] = []
+        n_samples = len(y)
+        batch = min(self.batch_size, n_samples)
+        epochs_run = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            epochs_run = epoch
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                pred, cache = self._forward(X[idx])
+                grads = self._backward(cache, pred - y[idx])
+                grads = clip_gradients(grads, self.grad_clip)
+                optimizer.step(grads)
+
+            train_pred, _ = self._forward(X)
+            train_loss = mean_squared_error(y, train_pred)
+            history.append(train_loss)
+            monitored = train_loss
+            if has_val:
+                val_pred, _ = self._forward(X_validation)
+                monitored = mean_squared_error(y_validation, val_pred)
+            if monitored < best_val - 1e-9:
+                best_val = monitored
+                best_params = [p.copy() for p in params]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        for param, best in zip(params, best_params):
+            param[...] = best
+
+        train_pred, _ = self._forward(X)
+        val_loss = None
+        if has_val:
+            val_pred, _ = self._forward(X_validation)
+            val_loss = mean_squared_error(y_validation, val_pred)
+        return FitResult(
+            train_loss=mean_squared_error(y, train_pred),
+            val_loss=val_loss,
+            epochs_run=epochs_run,
+            history=history,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._dense_w is None:
+            raise RuntimeError("model has not been fitted")
+        X = self._scaler.transform(flatten_windows(X))
+        prediction, _ = self._forward(X)
+        return prediction

@@ -1,0 +1,106 @@
+"""Lasso linear regression via cyclic coordinate descent.
+
+The simplest stage-1 engine in the paper: ``y = x^T w`` with L1 regularisation
+on ``w``.  Implemented from scratch because scikit-learn is unavailable in the
+offline environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FitResult, Regressor, validate_training_inputs
+from .metrics import mean_squared_error
+from .preprocessing import StandardScaler, flatten_windows
+
+
+def _soft_threshold(value: float, threshold: float) -> float:
+    """Soft-thresholding operator used by the coordinate-descent update."""
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+class LassoRegressor(Regressor):
+    """L1-regularised linear regression (cyclic coordinate descent)."""
+
+    def __init__(
+        self,
+        alpha: float = 0.001,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.name = "Lasso"
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._scaler = StandardScaler()
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        X = flatten_windows(X_train)
+        y = np.asarray(y_train, dtype=float)
+        validate_training_inputs(X, y)
+        X = self._scaler.fit_transform(X)
+
+        n_samples, n_features = X.shape
+        weights = np.zeros(n_features)
+        self.intercept_ = float(y.mean())
+        residual = y - self.intercept_ - X @ weights
+        column_norms = (X ** 2).sum(axis=0)
+        threshold = self.alpha * n_samples
+
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            max_update = 0.0
+            for j in range(n_features):
+                if column_norms[j] <= 1e-12:
+                    continue
+                old = weights[j]
+                rho = X[:, j] @ residual + column_norms[j] * old
+                new = _soft_threshold(rho, threshold) / column_norms[j]
+                if new != old:
+                    weights[j] = new
+                    residual -= X[:, j] * (new - old)
+                    max_update = max(max_update, abs(new - old))
+            if max_update < self.tol:
+                break
+
+        self.coef_ = weights
+        train_loss = mean_squared_error(y, self._predict_scaled(X))
+        val_loss = None
+        if X_val is not None and y_val is not None and len(y_val):
+            val_loss = mean_squared_error(np.asarray(y_val, dtype=float),
+                                          self.predict(X_val))
+        return FitResult(train_loss=train_loss, val_loss=val_loss,
+                         epochs_run=iterations)
+
+    def _predict_scaled(self, X_scaled: np.ndarray) -> np.ndarray:
+        assert self.coef_ is not None
+        return X_scaled @ self.coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model has not been fitted")
+        X = self._scaler.transform(flatten_windows(X))
+        return self._predict_scaled(X)
+
+    @property
+    def selected_features(self) -> np.ndarray:
+        """Indices of features with non-zero coefficients."""
+        if self.coef_ is None:
+            raise RuntimeError("model has not been fitted")
+        return np.flatnonzero(np.abs(self.coef_) > 1e-12)

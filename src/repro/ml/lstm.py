@@ -1,0 +1,276 @@
+"""LSTM regressor trained with Adam and truncated BPTT (Keras LSTM stand-in).
+
+The input window (Section III-C) is treated as the recurrent sequence: the
+network reads the feature vectors of time steps ``t_{i-w+1} ... t_i`` and
+regresses the IPC at ``t_i`` from the final hidden state.  ``1-LSTM-500`` is
+one LSTM layer with 500 units; ``4-LSTM-150`` stacks four layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FitResult, Regressor, validate_training_inputs
+from .metrics import mean_squared_error
+from .optim import Adam, clip_gradients
+from .preprocessing import StandardScaler, as_windows
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -50.0, 50.0)))
+
+
+class _LSTMLayer:
+    """One LSTM layer with packed gate weights (input, forget, cell, output)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = 1.0 / np.sqrt(max(input_size + hidden_size, 1))
+        self.W = rng.normal(0.0, scale, size=(input_size + hidden_size,
+                                              4 * hidden_size))
+        self.b = np.zeros(4 * hidden_size)
+        # Standard trick: positive forget-gate bias stabilises early training.
+        self.b[hidden_size : 2 * hidden_size] = 1.0
+
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[dict]]:
+        """Run the layer over a (n, T, input_size) batch.
+
+        Returns the full hidden-state sequence (n, T, hidden) and per-step
+        caches for backpropagation through time.
+        """
+        n, steps, _ = x.shape
+        h = np.zeros((n, self.hidden_size))
+        c = np.zeros((n, self.hidden_size))
+        outputs = np.zeros((n, steps, self.hidden_size))
+        caches: list[dict] = []
+        hs = self.hidden_size
+        for t in range(steps):
+            concat = np.concatenate([x[:, t, :], h], axis=1)
+            gates = concat @ self.W + self.b
+            i = _sigmoid(gates[:, :hs])
+            f = _sigmoid(gates[:, hs : 2 * hs])
+            g = np.tanh(gates[:, 2 * hs : 3 * hs])
+            o = _sigmoid(gates[:, 3 * hs :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            outputs[:, t, :] = h
+            caches.append({"concat": concat, "i": i, "f": f, "g": g, "o": o,
+                           "c": c.copy(), "c_prev": caches[-1]["c"] if caches else
+                           np.zeros_like(c)})
+        return outputs, caches
+
+    def backward(
+        self, d_outputs: np.ndarray, caches: list[dict]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """BPTT given gradients w.r.t. every hidden output (n, T, hidden).
+
+        Returns (dW, db, d_inputs).
+        """
+        n, steps, _ = d_outputs.shape
+        hs = self.hidden_size
+        dW = np.zeros_like(self.W)
+        db = np.zeros_like(self.b)
+        d_inputs = np.zeros((n, steps, self.input_size))
+        dh_next = np.zeros((n, hs))
+        dc_next = np.zeros((n, hs))
+        for t in range(steps - 1, -1, -1):
+            cache = caches[t]
+            dh = d_outputs[:, t, :] + dh_next
+            c = cache["c"]
+            tanh_c = np.tanh(c)
+            do = dh * tanh_c
+            dc = dh * cache["o"] * (1.0 - tanh_c ** 2) + dc_next
+            di = dc * cache["g"]
+            dg = dc * cache["i"]
+            df = dc * cache["c_prev"]
+            dc_next = dc * cache["f"]
+
+            d_gates = np.concatenate(
+                [
+                    di * cache["i"] * (1.0 - cache["i"]),
+                    df * cache["f"] * (1.0 - cache["f"]),
+                    dg * (1.0 - cache["g"] ** 2),
+                    do * cache["o"] * (1.0 - cache["o"]),
+                ],
+                axis=1,
+            )
+            dW += cache["concat"].T @ d_gates
+            db += d_gates.sum(axis=0)
+            d_concat = d_gates @ self.W.T
+            d_inputs[:, t, :] = d_concat[:, : self.input_size]
+            dh_next = d_concat[:, self.input_size :]
+        return dW, db, d_inputs
+
+
+class LSTMRegressor(Regressor):
+    """Stacked LSTM layers followed by a linear read-out of the last state."""
+
+    def __init__(
+        self,
+        layers: int = 1,
+        hidden_size: int = 150,
+        learning_rate: float = 1e-3,
+        max_epochs: int = 200,
+        patience: int = 100,
+        batch_size: int = 32,
+        grad_clip: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if layers < 1 or hidden_size < 1:
+            raise ValueError("layers and hidden_size must be positive")
+        self.layers = layers
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.name = f"{layers}-LSTM-{hidden_size}"
+        self._lstm_layers: list[_LSTMLayer] = []
+        self._dense_w: np.ndarray | None = None
+        self._dense_b: np.ndarray | None = None
+        self._scaler = StandardScaler()
+
+    # -- forward / backward ---------------------------------------------------------
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        self._lstm_layers = []
+        input_size = n_features
+        for _ in range(self.layers):
+            self._lstm_layers.append(_LSTMLayer(input_size, self.hidden_size, rng))
+            input_size = self.hidden_size
+        self._dense_w = rng.normal(0.0, 1.0 / np.sqrt(self.hidden_size),
+                                   size=(self.hidden_size, 1))
+        self._dense_b = np.zeros(1)
+
+    def _scale(self, X: np.ndarray, fit: bool = False) -> np.ndarray:
+        windows = as_windows(X)
+        n, steps, features = windows.shape
+        flat = windows.reshape(n * steps, features)
+        flat = self._scaler.fit_transform(flat) if fit else self._scaler.transform(flat)
+        return flat.reshape(n, steps, features)
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list]:
+        caches = []
+        out = X
+        for layer in self._lstm_layers:
+            out, layer_cache = layer.forward(out)
+            caches.append((layer_cache, out))
+        last_hidden = out[:, -1, :]
+        prediction = (last_hidden @ self._dense_w + self._dense_b)[:, 0]
+        return prediction, [caches, last_hidden]
+
+    def _backward(self, X: np.ndarray, cache, error: np.ndarray) -> list[np.ndarray]:
+        caches, last_hidden = cache
+        n = len(error)
+        delta = error[:, None] / n
+        grad_dense_w = last_hidden.T @ delta
+        grad_dense_b = delta.sum(axis=0)
+
+        d_last = delta @ self._dense_w.T
+        steps = X.shape[1]
+        d_out = np.zeros((n, steps, self.hidden_size))
+        d_out[:, -1, :] = d_last
+
+        layer_grads: list[tuple[np.ndarray, np.ndarray]] = []
+        for index in range(len(self._lstm_layers) - 1, -1, -1):
+            layer = self._lstm_layers[index]
+            layer_cache, _ = caches[index]
+            dW, db, d_inputs = layer.backward(d_out, layer_cache)
+            layer_grads.insert(0, (dW, db))
+            d_out = d_inputs
+
+        grads: list[np.ndarray] = []
+        for dW, db in layer_grads:
+            grads.extend([dW, db])
+        grads.extend([grad_dense_w, grad_dense_b])
+        return grads
+
+    # -- public API --------------------------------------------------------------------
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        X = self._scale(X_train, fit=True)
+        y = np.asarray(y_train, dtype=float)
+        validate_training_inputs(X, y)
+        rng = np.random.default_rng(self.seed)
+        self._init_params(X.shape[2], rng)
+
+        has_val = X_val is not None and y_val is not None and len(y_val) > 0
+        X_validation = self._scale(X_val) if has_val else None
+        y_validation = np.asarray(y_val, dtype=float) if has_val else None
+
+        params: list[np.ndarray] = []
+        for layer in self._lstm_layers:
+            params.extend(layer.params())
+        params.extend([self._dense_w, self._dense_b])
+        optimizer = Adam(params, learning_rate=self.learning_rate)
+
+        best_val = np.inf
+        best_params = [p.copy() for p in params]
+        stale = 0
+        history: list[float] = []
+        n_samples = len(y)
+        batch = min(self.batch_size, n_samples)
+        epochs_run = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            epochs_run = epoch
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                pred, cache = self._forward(X[idx])
+                grads = self._backward(X[idx], cache, pred - y[idx])
+                grads = clip_gradients(grads, self.grad_clip)
+                optimizer.step(grads)
+
+            train_pred, _ = self._forward(X)
+            train_loss = mean_squared_error(y, train_pred)
+            history.append(train_loss)
+            monitored = train_loss
+            if has_val:
+                val_pred, _ = self._forward(X_validation)
+                monitored = mean_squared_error(y_validation, val_pred)
+            if monitored < best_val - 1e-9:
+                best_val = monitored
+                best_params = [p.copy() for p in params]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        for param, best in zip(params, best_params):
+            param[...] = best
+
+        train_pred, _ = self._forward(X)
+        val_loss = None
+        if has_val:
+            val_pred, _ = self._forward(X_validation)
+            val_loss = mean_squared_error(y_validation, val_pred)
+        return FitResult(
+            train_loss=mean_squared_error(y, train_pred),
+            val_loss=val_loss,
+            epochs_run=epochs_run,
+            history=history,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._dense_w is None:
+            raise RuntimeError("model has not been fitted")
+        X = self._scale(X)
+        prediction, _ = self._forward(X)
+        return prediction

@@ -1,0 +1,77 @@
+"""Regression metrics, including the paper's Equation (1) inference error.
+
+Equation (1) sums, over consecutive time-step pairs, the average of the two
+absolute errors — a trapezoidal "area between the inferred and simulated IPC
+curves".  Unlike MSE it does not average large single-step errors away, which
+is why the paper prefers it for feeding stage 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain MSE."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_shapes(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain MAE."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_shapes(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def inference_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's Equation (1): area between the two time series.
+
+    ``delta_i = 1/2 * sum_{j=2..T} (|y_j - yhat_j| + |y_{j-1} - yhat_{j-1}|)``
+
+    For a single-step series the plain absolute error is returned, which keeps
+    the metric well defined for degenerate probes.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_shapes(y_true, y_pred)
+    errors = np.abs(y_true - y_pred)
+    if errors.size == 1:
+        return float(errors[0])
+    return float(0.5 * np.sum(errors[1:] + errors[:-1]))
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 when either input is constant."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    _check_shapes(x, y)
+    if x.size < 2:
+        return 0.0
+    x_std = x.std()
+    y_std = y.std()
+    if x_std <= 1e-12 or y_std <= 1e-12:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (x_std * y_std))
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_shapes(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot <= 1e-12:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("metric inputs must not be empty")

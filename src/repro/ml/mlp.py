@@ -1,0 +1,171 @@
+"""Multi-layer perceptron regressor trained with Adam (Keras MLP stand-in).
+
+Names follow the paper's convention: ``1-MLP-500`` is one hidden layer of 500
+neurons, ``4-MLP-500`` is four hidden layers, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FitResult, Regressor, validate_training_inputs
+from .metrics import mean_squared_error
+from .optim import Adam, clip_gradients
+from .preprocessing import StandardScaler, flatten_windows
+
+
+class MLPRegressor(Regressor):
+    """Fully-connected ReLU network with a linear scalar output."""
+
+    def __init__(
+        self,
+        hidden_layers: int = 1,
+        hidden_size: int = 500,
+        learning_rate: float = 1e-3,
+        max_epochs: int = 300,
+        patience: int = 100,
+        batch_size: int = 32,
+        grad_clip: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if hidden_layers < 1 or hidden_size < 1:
+            raise ValueError("hidden_layers and hidden_size must be positive")
+        self.hidden_layers = hidden_layers
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.name = f"{hidden_layers}-MLP-{hidden_size}"
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._scaler = StandardScaler()
+
+    # -- network helpers ---------------------------------------------------------
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features] + [self.hidden_size] * self.hidden_layers + [1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        out = X
+        last = len(self._weights) - 1
+        for index, (W, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ W + b
+            if index < last:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out[:, 0], activations
+
+    def _backward(
+        self, activations: list[np.ndarray], error: np.ndarray
+    ) -> list[np.ndarray]:
+        """Return gradients ordered [W0, b0, W1, b1, ...]."""
+        grads: list[np.ndarray] = []
+        delta = error[:, None]  # dLoss/d(output) for the linear output layer
+        n = len(error)
+        for index in range(len(self._weights) - 1, -1, -1):
+            inputs = activations[index]
+            grad_w = inputs.T @ delta / n
+            grad_b = delta.mean(axis=0)
+            grads.insert(0, grad_b)
+            grads.insert(0, grad_w)
+            if index > 0:
+                delta = delta @ self._weights[index].T
+                delta = delta * (activations[index] > 0.0)
+        return grads
+
+    # -- public API ----------------------------------------------------------------
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> FitResult:
+        X = flatten_windows(X_train)
+        y = np.asarray(y_train, dtype=float)
+        validate_training_inputs(X, y)
+        X = self._scaler.fit_transform(X)
+        rng = np.random.default_rng(self.seed)
+        self._init_params(X.shape[1], rng)
+
+        has_val = X_val is not None and y_val is not None and len(y_val) > 0
+        X_validation = (
+            self._scaler.transform(flatten_windows(X_val)) if has_val else None
+        )
+        y_validation = np.asarray(y_val, dtype=float) if has_val else None
+
+        params = []
+        for W, b in zip(self._weights, self._biases):
+            params.extend([W, b])
+        optimizer = Adam(params, learning_rate=self.learning_rate)
+
+        best_val = np.inf
+        best_params = [p.copy() for p in params]
+        epochs_without_improvement = 0
+        history: list[float] = []
+        n_samples = len(y)
+        batch = min(self.batch_size, n_samples)
+        epochs_run = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            epochs_run = epoch
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                pred, activations = self._forward(X[idx])
+                error = pred - y[idx]
+                grads = self._backward(activations, error)
+                grads = clip_gradients(grads, self.grad_clip)
+                optimizer.step(grads)
+
+            train_pred, _ = self._forward(X)
+            train_loss = mean_squared_error(y, train_pred)
+            history.append(train_loss)
+            monitored = train_loss
+            if has_val:
+                val_pred, _ = self._forward(X_validation)
+                monitored = mean_squared_error(y_validation, val_pred)
+            if monitored < best_val - 1e-9:
+                best_val = monitored
+                best_params = [p.copy() for p in params]
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= self.patience:
+                    break
+
+        # Restore the best snapshot (early-stopping semantics).
+        for param, best in zip(params, best_params):
+            param[...] = best
+
+        train_pred, _ = self._forward(X)
+        val_loss = None
+        if has_val:
+            val_pred, _ = self._forward(X_validation)
+            val_loss = mean_squared_error(y_validation, val_pred)
+        return FitResult(
+            train_loss=mean_squared_error(y, train_pred),
+            val_loss=val_loss,
+            epochs_run=epochs_run,
+            history=history,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model has not been fitted")
+        X = self._scaler.transform(flatten_windows(X))
+        prediction, _ = self._forward(X)
+        return prediction

@@ -1,0 +1,60 @@
+"""Adam optimiser and gradient clipping used by the neural-network engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_gradients(gradients: list[np.ndarray], max_norm: float) -> list[np.ndarray]:
+    """Clip the global L2 norm of *gradients* to *max_norm*.
+
+    The paper enforces gradient clipping to avoid the gradient-explosion issue
+    when training its recurrent networks; the same safeguard is applied to all
+    neural engines here.
+    """
+    if max_norm <= 0:
+        return gradients
+    total = np.sqrt(sum(float(np.sum(g ** 2)) for g in gradients))
+    if total <= max_norm or total == 0.0:
+        return gradients
+    scale = max_norm / total
+    return [g * scale for g in gradients]
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) over a list of parameter arrays."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.params = params
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``self.params``."""
+        if len(gradients) != len(self.params):
+            raise ValueError("gradient list does not match parameter list")
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, grad, m, v in zip(self.params, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad ** 2)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

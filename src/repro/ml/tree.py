@@ -1,0 +1,129 @@
+"""CART regression tree used as the weak learner for gradient boosting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``value`` set and no children."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Exact-split CART regression tree minimising squared error."""
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.min_samples_split = max(2, min_samples_split)
+        self._root: _Node | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y) or len(X) == 0:
+            raise ValueError("X and y must be non-empty and the same length")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        X = np.asarray(X, dtype=float)
+        return np.array([self._predict_one(row) for row in X])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value if node is not None else 0.0
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node_value = float(y.mean())
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.ptp(y) < 1e-12
+        ):
+            return _Node(value=node_value)
+
+        feature, threshold = self._best_split(X, y)
+        if feature < 0:
+            return _Node(value=node_value)
+
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return _Node(value=node_value, feature=feature, threshold=threshold,
+                     left=left, right=right)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float]:
+        """Return the (feature, threshold) minimising weighted child variance."""
+        n_samples, n_features = X.shape
+        best_feature = -1
+        best_threshold = 0.0
+        best_score = np.inf
+        min_leaf = self.min_samples_leaf
+
+        for feature in range(n_features):
+            order = np.argsort(X[:, feature], kind="stable")
+            x_sorted = X[order, feature]
+            y_sorted = y[order]
+            if x_sorted[0] == x_sorted[-1]:
+                continue
+            # Prefix sums for O(1) variance evaluation of every split point.
+            cumsum = np.cumsum(y_sorted)
+            cumsum_sq = np.cumsum(y_sorted ** 2)
+            total_sum = cumsum[-1]
+            total_sq = cumsum_sq[-1]
+            counts = np.arange(1, n_samples + 1, dtype=float)
+
+            left_sum = cumsum[:-1]
+            left_sq = cumsum_sq[:-1]
+            left_n = counts[:-1]
+            right_n = n_samples - left_n
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+
+            sse = (left_sq - left_sum ** 2 / left_n) + (
+                right_sq - right_sum ** 2 / right_n
+            )
+            # Disallow splits between equal feature values and tiny leaves.
+            valid = (x_sorted[:-1] != x_sorted[1:])
+            valid &= (left_n >= min_leaf) & (right_n >= min_leaf)
+            if not np.any(valid):
+                continue
+            sse = np.where(valid, sse, np.inf)
+            index = int(np.argmin(sse))
+            if sse[index] < best_score:
+                best_score = float(sse[index])
+                best_feature = feature
+                best_threshold = float(
+                    0.5 * (x_sorted[index] + x_sorted[index + 1])
+                )
+        return best_feature, best_threshold

@@ -1,0 +1,25 @@
+"""SimPoint-based probe extraction (SimPoint 3.0 stand-in).
+
+Implements basic-block-vector profiling, k-means clustering with BIC model
+selection and representative-interval selection, used by the detection
+methodology to extract short, orthogonal microbenchmark probes from the
+synthetic SPEC-like workloads.
+"""
+
+from .bbv import basic_block_vector, bbv_matrix, project_bbvs
+from .kmeans import KMeansResult, bic_score, choose_k, kmeans
+from .simpoint import SimPoint, SimPointSelection, select_simpoints, weighted_average
+
+__all__ = [
+    "basic_block_vector",
+    "bbv_matrix",
+    "project_bbvs",
+    "KMeansResult",
+    "kmeans",
+    "bic_score",
+    "choose_k",
+    "SimPoint",
+    "SimPointSelection",
+    "select_simpoints",
+    "weighted_average",
+]

@@ -1,0 +1,71 @@
+"""Basic-block-vector (BBV) profiling.
+
+SimPoint characterises each fixed-length interval of a program's execution by
+the number of instructions executed in each static basic block — the
+basic-block vector.  Intervals whose BBVs are close execute similar code and
+are expected to have similar performance, which is the property the paper's
+probe extraction relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.isa import MicroOp
+
+
+def basic_block_vector(
+    interval: list[MicroOp], num_blocks: int, normalize: bool = True
+) -> np.ndarray:
+    """Compute the BBV of one interval.
+
+    Parameters
+    ----------
+    interval:
+        The dynamic instructions of the interval.
+    num_blocks:
+        Total number of static basic blocks in the program (vector dimension).
+    normalize:
+        If true (the default, as in SimPoint), the vector is normalised to sum
+        to one so intervals of slightly different lengths are comparable.
+    """
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    vector = np.zeros(num_blocks, dtype=float)
+    for uop in interval:
+        if 0 <= uop.block_id < num_blocks:
+            vector[uop.block_id] += 1.0
+    if normalize:
+        total = vector.sum()
+        if total > 0:
+            vector /= total
+    return vector
+
+
+def bbv_matrix(
+    intervals: list[list[MicroOp]], num_blocks: int, normalize: bool = True
+) -> np.ndarray:
+    """Stack the BBVs of all *intervals* into a matrix of shape (n, num_blocks)."""
+    if not intervals:
+        raise ValueError("at least one interval is required")
+    return np.stack(
+        [basic_block_vector(iv, num_blocks, normalize) for iv in intervals]
+    )
+
+
+def project_bbvs(matrix: np.ndarray, dims: int, seed: int = 0) -> np.ndarray:
+    """Randomly project BBVs down to *dims* dimensions.
+
+    SimPoint 3.0 projects BBVs to ~15 dimensions before clustering to make
+    k-means cheap and robust; we follow the same recipe with a seeded Gaussian
+    random projection.  When the BBV dimension is already small the matrix is
+    returned unchanged.
+    """
+    n_features = matrix.shape[1]
+    if dims <= 0:
+        raise ValueError("dims must be positive")
+    if n_features <= dims:
+        return matrix.astype(float)
+    rng = np.random.default_rng(seed)
+    projection = rng.normal(0.0, 1.0 / np.sqrt(dims), size=(n_features, dims))
+    return matrix @ projection

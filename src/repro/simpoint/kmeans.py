@@ -1,0 +1,169 @@
+"""K-means clustering with k-means++ seeding and BIC model selection.
+
+This is the clustering engine behind SimPoint selection.  It is implemented
+from scratch on NumPy (no scikit-learn available offline) and follows the
+SimPoint 3.0 recipe: run k-means for a range of k, score each clustering with
+the Bayesian Information Criterion, and pick the smallest k whose BIC reaches
+a given fraction of the best observed score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centroid selection."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=float)
+    first = int(rng.integers(0, n))
+    centroids[0] = data[first]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centroid.
+            idx = int(rng.integers(0, n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[i] = data[idx]
+        dist_sq = np.sum((data - centroids[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster *data* (n_samples x n_features) into *k* clusters.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so the result always has exactly *k* non-degenerate clusters when the
+    data has at least *k* distinct points.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D array")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_plus_plus(data, k, rng)
+    labels = np.zeros(n, dtype=int)
+    previous_inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        # Assignment step.
+        distances = np.sum((data[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(n), labels].sum())
+
+        # Update step.
+        for j in range(k):
+            members = data[labels == j]
+            if len(members) == 0:
+                farthest = int(np.argmax(distances[np.arange(n), labels]))
+                centroids[j] = data[farthest]
+            else:
+                centroids[j] = members.mean(axis=0)
+
+        if previous_inertia - inertia <= tol * max(previous_inertia, 1e-12):
+            break
+        previous_inertia = inertia
+
+    distances = np.sum((data[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia,
+                        n_iter=n_iter)
+
+
+def bic_score(data: np.ndarray, result: KMeansResult) -> float:
+    """Bayesian Information Criterion of a clustering (higher is better).
+
+    Uses the spherical-Gaussian formulation from Pelleg & Moore (X-means),
+    which is what SimPoint 3.0 uses to pick the number of clusters.
+    """
+    data = np.asarray(data, dtype=float)
+    n, d = data.shape
+    k = result.k
+    sizes = result.cluster_sizes()
+
+    # Maximum-likelihood variance estimate (pooled, spherical).
+    denom = max(n - k, 1)
+    variance = result.inertia / (denom * d)
+    variance = max(variance, 1e-12)
+
+    log_likelihood = 0.0
+    for j in range(k):
+        n_j = sizes[j]
+        if n_j <= 0:
+            continue
+        log_likelihood += (
+            n_j * np.log(max(n_j, 1))
+            - n_j * np.log(n)
+            - 0.5 * n_j * d * np.log(2.0 * np.pi * variance)
+            - 0.5 * (n_j - 1) * d
+        )
+    n_params = k * (d + 1)
+    return float(log_likelihood - 0.5 * n_params * np.log(n))
+
+
+def choose_k(
+    data: np.ndarray,
+    max_k: int,
+    seed: int = 0,
+    bic_threshold: float = 0.9,
+) -> KMeansResult:
+    """Run k-means for k = 1..max_k and pick a clustering via BIC.
+
+    Following SimPoint 3.0, the chosen k is the smallest one whose BIC reaches
+    ``bic_threshold`` of the way from the worst to the best observed score.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    max_k = max(1, min(max_k, n))
+    results = []
+    scores = []
+    for k in range(1, max_k + 1):
+        result = kmeans(data, k, seed=seed + k)
+        results.append(result)
+        scores.append(bic_score(data, result))
+    scores_arr = np.asarray(scores)
+    best = scores_arr.max()
+    worst = scores_arr.min()
+    if np.isclose(best, worst):
+        return results[0]
+    cutoff = worst + bic_threshold * (best - worst)
+    for result, score in zip(results, scores_arr):
+        if score >= cutoff:
+            return result
+    return results[int(np.argmax(scores_arr))]

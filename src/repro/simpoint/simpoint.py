@@ -1,0 +1,160 @@
+"""SimPoint selection: from a dynamic trace to representative microbenchmarks.
+
+The paper repurposes SimPoint: instead of estimating whole-program performance
+from a weighted average over representative intervals, it uses the selected
+intervals directly as short, orthogonal *performance probes*.  This module
+implements the selection pipeline:
+
+1. split the dynamic trace into fixed-length intervals,
+2. compute (and randomly project) the basic-block vector of each interval,
+3. cluster the BBVs with k-means, choosing k by BIC,
+4. pick, for every cluster, the interval closest to the centroid as the
+   SimPoint, weighted by the cluster's share of the execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.isa import MicroOp
+from ..workloads.synth import SyntheticProgram
+from ..workloads.trace import TraceGenerator, split_into_intervals
+from .bbv import bbv_matrix, project_bbvs
+from .kmeans import KMeansResult, choose_k
+
+
+@dataclass
+class SimPoint:
+    """One selected SimPoint (a representative interval of a benchmark)."""
+
+    benchmark: str
+    index: int
+    interval_index: int
+    weight: float
+    trace: list[MicroOp]
+    bbv: np.ndarray
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, e.g. ``"403.gcc/sp03"``."""
+        return f"{self.benchmark}/sp{self.index:02d}"
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.trace)
+
+    def opcode_fraction(self, opcode) -> float:
+        """Fraction of dynamic instructions in this SimPoint with *opcode*."""
+        if not self.trace:
+            return 0.0
+        hits = sum(1 for uop in self.trace if uop.opcode is opcode)
+        return hits / len(self.trace)
+
+
+@dataclass
+class SimPointSelection:
+    """All SimPoints selected for one benchmark, plus clustering diagnostics."""
+
+    benchmark: str
+    simpoints: list[SimPoint]
+    clustering: KMeansResult
+    interval_size: int
+
+    def __len__(self) -> int:
+        return len(self.simpoints)
+
+    def __iter__(self):
+        return iter(self.simpoints)
+
+    def total_weight(self) -> float:
+        return sum(sp.weight for sp in self.simpoints)
+
+
+def select_simpoints(
+    program: SyntheticProgram,
+    total_instructions: int,
+    interval_size: int,
+    max_simpoints: int = 30,
+    projection_dims: int = 15,
+    seed: int = 0,
+) -> SimPointSelection:
+    """Run the SimPoint pipeline on *program*.
+
+    Parameters
+    ----------
+    program:
+        The synthetic benchmark to profile.
+    total_instructions:
+        Length of the profiling trace to generate.
+    interval_size:
+        Instructions per interval (the paper uses ~10 M; we scale this down).
+    max_simpoints:
+        Upper bound on the number of clusters considered by BIC selection.
+    projection_dims:
+        Dimensionality of the random BBV projection (SimPoint 3.0 uses 15).
+    seed:
+        Seed controlling trace generation, projection and clustering.
+    """
+    generator = TraceGenerator(program, seed=seed)
+    trace = generator.generate(total_instructions)
+    intervals = split_into_intervals(trace, interval_size)
+    if not intervals:
+        raise ValueError(
+            "trace too short to form a single interval; "
+            f"got {len(trace)} instructions for interval_size={interval_size}"
+        )
+
+    bbvs = bbv_matrix(intervals, program.num_blocks)
+    projected = project_bbvs(bbvs, projection_dims, seed=seed)
+    clustering = choose_k(projected, max_k=min(max_simpoints, len(intervals)),
+                          seed=seed)
+
+    simpoints: list[SimPoint] = []
+    n_intervals = len(intervals)
+    for cluster_id in range(clustering.k):
+        member_indices = np.flatnonzero(clustering.labels == cluster_id)
+        if len(member_indices) == 0:
+            continue
+        centroid = clustering.centroids[cluster_id]
+        member_points = projected[member_indices]
+        distances = np.sum((member_points - centroid) ** 2, axis=1)
+        representative = int(member_indices[int(np.argmin(distances))])
+        weight = len(member_indices) / n_intervals
+        simpoints.append(
+            SimPoint(
+                benchmark=program.name,
+                index=len(simpoints) + 1,
+                interval_index=representative,
+                weight=weight,
+                trace=list(intervals[representative]),
+                bbv=bbvs[representative].copy(),
+            )
+        )
+
+    return SimPointSelection(
+        benchmark=program.name,
+        simpoints=simpoints,
+        clustering=clustering,
+        interval_size=interval_size,
+    )
+
+
+def weighted_average(values: dict[str, float], selection: SimPointSelection) -> float:
+    """Estimate whole-program performance from per-SimPoint values.
+
+    This is SimPoint's original use (and what the Figure 1 reproduction needs
+    to compute whole-application speedups): a weighted average of per-SimPoint
+    metrics using the cluster weights.
+    """
+    total = 0.0
+    weight_sum = 0.0
+    for sp in selection.simpoints:
+        if sp.name not in values:
+            raise KeyError(f"missing value for SimPoint {sp.name}")
+        total += values[sp.name] * sp.weight
+        weight_sum += sp.weight
+    if weight_sum <= 0:
+        raise ValueError("selection has zero total weight")
+    return total / weight_sum

@@ -1,0 +1,37 @@
+"""Microarchitecture configuration: Table II knobs, Table III ports, presets."""
+
+from .config import CacheConfig, MemoryHierarchyConfig, MicroarchConfig, kb, mb
+from .memory_presets import (
+    MEMORY_MICROARCHES,
+    all_memory_microarches,
+    memory_microarch,
+    memory_set,
+)
+from .ports import CLASS_TO_UNITS, Port, PortOrganization, UnitType, make_ports
+from .presets import (
+    CORE_MICROARCHES,
+    all_core_microarches,
+    core_microarch,
+    core_set,
+)
+
+__all__ = [
+    "CacheConfig",
+    "MicroarchConfig",
+    "MemoryHierarchyConfig",
+    "kb",
+    "mb",
+    "UnitType",
+    "Port",
+    "PortOrganization",
+    "CLASS_TO_UNITS",
+    "make_ports",
+    "CORE_MICROARCHES",
+    "core_microarch",
+    "core_set",
+    "all_core_microarches",
+    "MEMORY_MICROARCHES",
+    "memory_microarch",
+    "memory_set",
+    "all_memory_microarches",
+]

@@ -1,0 +1,98 @@
+"""Memory-hierarchy presets for the ChampSim-like simulator (Section IV-D).
+
+The paper evaluates memory-system bug detection on Intel Broadwell, Haswell,
+Skylake, Sandybridge, Ivybridge and Nehalem, AMD K10 and Ryzen 7, plus four
+artificial architectures.  It only names the designs, so realistic cache and
+latency parameters are used here (documented deviation, see DESIGN.md §6).
+
+The partition into Sets I–IV mirrors the core study: Set I trains the stage-1
+models, Sets II/III train stage 2, Set IV is held out for testing.
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig, MemoryHierarchyConfig, kb, mb
+
+
+def _mem(
+    name: str,
+    training_set: str,
+    is_real: bool,
+    l1d: tuple[int, int, int],
+    l2: tuple[int, int, int],
+    llc: tuple[int, int, int],
+    dram_latency: int,
+    prefetcher: str = "spp",
+    prefetch_degree: int = 2,
+) -> MemoryHierarchyConfig:
+    """Build one memory-hierarchy preset. Cache tuples: (bytes, assoc, latency)."""
+    return MemoryHierarchyConfig(
+        name=name,
+        training_set=training_set,
+        is_real=is_real,
+        l1d=CacheConfig(size=l1d[0], associativity=l1d[1], latency=l1d[2]),
+        l2=CacheConfig(size=l2[0], associativity=l2[1], latency=l2[2]),
+        llc=CacheConfig(size=llc[0], associativity=llc[1], latency=llc[2]),
+        dram_latency=dram_latency,
+        prefetcher=prefetcher,
+        prefetch_degree=prefetch_degree,
+    )
+
+
+#: The 12 memory-system presets, keyed by name.
+MEMORY_MICROARCHES: dict[str, MemoryHierarchyConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        # --- Set I ---------------------------------------------------------
+        _mem("Broadwell-mem", "I", True, (kb(32), 8, 4), (kb(256), 8, 12),
+             (mb(8), 16, 40), 190),
+        _mem("Haswell-mem", "I", True, (kb(32), 8, 4), (kb(256), 8, 11),
+             (mb(8), 16, 36), 200),
+        _mem("Sandybridge-mem", "I", True, (kb(32), 8, 4), (kb(256), 8, 12),
+             (mb(8), 16, 30), 210),
+        _mem("Nehalem-mem", "I", True, (kb(32), 8, 4), (kb(256), 8, 10),
+             (mb(8), 16, 38), 220),
+        _mem("MemArtificial1", "I", False, (kb(64), 8, 5), (kb(512), 8, 14),
+             (mb(4), 16, 34), 180, prefetcher="spp", prefetch_degree=4),
+        _mem("MemArtificial2", "I", False, (kb(16), 4, 3), (kb(256), 4, 12),
+             (mb(2), 8, 28), 240, prefetcher="next_line", prefetch_degree=1),
+        # --- Set II --------------------------------------------------------
+        _mem("Ivybridge-mem", "II", True, (kb(32), 8, 4), (kb(256), 8, 11),
+             (mb(8), 16, 32), 205),
+        _mem("MemArtificial3", "II", False, (kb(32), 8, 4), (mb(1), 16, 18),
+             (mb(16), 16, 44), 170),
+        # --- Set III -------------------------------------------------------
+        _mem("K10-mem", "III", True, (kb(64), 2, 3), (kb(512), 16, 12),
+             (mb(6), 48, 40), 230, prefetcher="next_line"),
+        _mem("MemArtificial4", "III", False, (kb(48), 12, 5), (kb(512), 8, 15),
+             (mb(4), 16, 38), 200),
+        # --- Set IV --------------------------------------------------------
+        _mem("Skylake-mem", "IV", True, (kb(32), 8, 4), (kb(256), 4, 12),
+             (mb(8), 16, 34), 195),
+        _mem("Ryzen7-mem", "IV", True, (kb(32), 8, 4), (kb(512), 8, 12),
+             (mb(16), 16, 35), 215),
+    ]
+}
+
+
+def memory_microarch(name: str) -> MemoryHierarchyConfig:
+    """Return the memory-hierarchy preset named *name*."""
+    try:
+        return MEMORY_MICROARCHES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory hierarchy {name!r}; "
+            f"available: {sorted(MEMORY_MICROARCHES)}"
+        ) from None
+
+
+def memory_set(training_set: str) -> list[MemoryHierarchyConfig]:
+    """All memory presets in the given training set."""
+    if training_set not in ("I", "II", "III", "IV"):
+        raise ValueError("training_set must be one of 'I', 'II', 'III', 'IV'")
+    return [c for c in MEMORY_MICROARCHES.values() if c.training_set == training_set]
+
+
+def all_memory_microarches() -> list[MemoryHierarchyConfig]:
+    """All 12 memory-hierarchy presets."""
+    return list(MEMORY_MICROARCHES.values())

@@ -1,0 +1,110 @@
+"""Issue-port and functional-unit organisation (Table III of the paper).
+
+Each microarchitecture exposes a set of issue ports; every port hosts one or
+more functional units.  An instruction may issue through any port that hosts a
+unit capable of executing its :class:`~repro.workloads.isa.OpClass`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..workloads.isa import OpClass
+
+
+class UnitType(enum.Enum):
+    """Functional-unit types named in Table III."""
+
+    ALU = "ALU"
+    INT_MULT = "Int Mult"
+    DIVIDER = "Divider"
+    FP_UNIT = "FP Unit"
+    FP_MULT = "FP Mult"
+    VECTOR = "Vector Unit"
+    BRANCH = "Branch Unit"
+    LOAD = "Load Unit"
+    STORE = "Store Unit"
+
+
+#: Which unit types can execute each operation class.  Order expresses
+#: preference (the scheduler tries earlier entries first).
+CLASS_TO_UNITS: dict[OpClass, tuple[UnitType, ...]] = {
+    OpClass.INT_ALU: (UnitType.ALU,),
+    OpClass.INT_MULT: (UnitType.INT_MULT, UnitType.ALU),
+    OpClass.INT_DIV: (UnitType.DIVIDER, UnitType.INT_MULT),
+    OpClass.FP_ALU: (UnitType.FP_UNIT, UnitType.FP_MULT),
+    OpClass.FP_MULT: (UnitType.FP_MULT, UnitType.FP_UNIT),
+    OpClass.FP_DIV: (UnitType.DIVIDER, UnitType.FP_UNIT),
+    OpClass.VECTOR: (UnitType.VECTOR, UnitType.FP_UNIT),
+    OpClass.LOAD: (UnitType.LOAD,),
+    OpClass.STORE: (UnitType.STORE,),
+    OpClass.BRANCH: (UnitType.BRANCH, UnitType.ALU),
+}
+
+
+@dataclass(frozen=True)
+class Port:
+    """One issue port: a named collection of functional units."""
+
+    index: int
+    units: tuple[UnitType, ...]
+
+    def can_execute(self, op_class: OpClass) -> bool:
+        """True if any unit on this port can execute *op_class*."""
+        capable = CLASS_TO_UNITS[op_class]
+        return any(unit in self.units for unit in capable)
+
+
+@dataclass(frozen=True)
+class PortOrganization:
+    """The full set of issue ports of a microarchitecture."""
+
+    ports: tuple[Port, ...]
+
+    @classmethod
+    def from_unit_lists(cls, unit_lists: list[list[UnitType]]) -> "PortOrganization":
+        """Build from a list of per-port unit lists (Table III rows)."""
+        if not unit_lists:
+            raise ValueError("a port organization needs at least one port")
+        ports = tuple(
+            Port(index=i, units=tuple(units)) for i, units in enumerate(unit_lists)
+        )
+        return cls(ports=ports)
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.ports)
+
+    def ports_for(self, op_class: OpClass) -> list[Port]:
+        """All ports capable of executing *op_class*."""
+        return [p for p in self.ports if p.can_execute(op_class)]
+
+    def capability_histogram(self) -> dict[OpClass, int]:
+        """Number of ports able to execute each operation class."""
+        return {oc: len(self.ports_for(oc)) for oc in OpClass}
+
+    def validate(self) -> None:
+        """Ensure every operation class has at least one capable port."""
+        missing = [oc.name for oc, n in self.capability_histogram().items() if n == 0]
+        if missing:
+            raise ValueError(f"no issue port can execute: {', '.join(missing)}")
+
+
+# Shorthand aliases used by the preset tables.
+A = UnitType.ALU
+IM = UnitType.INT_MULT
+DIV = UnitType.DIVIDER
+FU = UnitType.FP_UNIT
+FM = UnitType.FP_MULT
+V = UnitType.VECTOR
+BR = UnitType.BRANCH
+LD = UnitType.LOAD
+ST = UnitType.STORE
+
+
+def make_ports(*unit_lists: list[UnitType]) -> PortOrganization:
+    """Convenience wrapper: ``make_ports([A, FM], [LD], ...)``."""
+    organization = PortOrganization.from_unit_lists(list(unit_lists))
+    organization.validate()
+    return organization

@@ -1,0 +1,197 @@
+"""The 20 core microarchitecture presets of Tables II and III.
+
+Eight real designs (Intel Broadwell, Cedarview, Ivybridge, Skylake,
+Silvermont; AMD Jaguar, K8, K10) plus twelve artificial designs with realistic
+settings, partitioned into the four training/validation/testing sets the
+paper's methodology uses:
+
+* Set I   — stage-1 (IPC model) training,
+* Set II  — stage-1 validation + stage-2 training,
+* Set III — additional stage-2 training,
+* Set IV  — stage-2 testing (real designs only).
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig, MicroarchConfig, kb, mb
+from .ports import A, BR, DIV, FM, FU, IM, LD, ST, V, PortOrganization, make_ports
+
+# ----------------------------------------------------------------------------
+# Port organisations (Table III)
+# ----------------------------------------------------------------------------
+
+#: Broadwell-style big-core ports (also Artificial 0/2/3/4/6).
+BROADWELL_PORTS = make_ports(
+    [A, FM, FU, V, IM, DIV, BR],
+    [A, V, FM, IM],
+    [LD],
+    [LD],
+    [ST],
+    [A, V],
+    [A, BR],
+)
+
+#: Skylake-style big-core ports.
+SKYLAKE_PORTS = make_ports(
+    [A, V, FU, IM, DIV, BR],
+    [A, V, FM, FU, IM],
+    [LD],
+    [LD],
+    [ST],
+    [A, V],
+    [A, BR],
+)
+
+#: Cedarview-style small-core ports (also Artificial 10/11).
+CEDARVIEW_PORTS = make_ports(
+    [A, LD, ST, V, IM, DIV],
+    [A, V, FU, BR],
+    [LD],
+    [ST],
+)
+
+#: AMD Jaguar ports.
+JAGUAR_PORTS = make_ports(
+    [A, V],
+    [A, V],
+    [FU, IM],
+    [FM, DIV],
+    [LD],
+    [ST],
+)
+
+#: Silvermont-style ports (also Artificial 7).
+SILVERMONT_PORTS = make_ports(
+    [LD, ST],
+    [A, IM],
+    [A, BR],
+    [FM, DIV],
+    [FU],
+)
+
+#: Ivybridge ports.
+IVYBRIDGE_PORTS = make_ports(
+    [A, V, FM, DIV],
+    [A, V, IM, FU],
+    [LD],
+    [LD],
+    [ST],
+    [A, V, BR, FU],
+)
+
+#: AMD K8/K10-style ports (also Artificial 1/5/8/9).
+AMD_PORTS = make_ports(
+    [A, V, IM],
+    [A, V],
+    [A, V],
+    [LD],
+    [ST],
+    [FU],
+    [FU],
+)
+
+
+def _core(
+    name: str,
+    training_set: str,
+    is_real: bool,
+    clock: float,
+    width: int,
+    rob: int,
+    l1: tuple[int, int, int],
+    l2: tuple[int, int, int],
+    l3: tuple[int, int, int] | None,
+    fu: tuple[int, int, int],
+    ports: PortOrganization,
+) -> MicroarchConfig:
+    """Build one Table-II row. Cache tuples are (bytes, assoc, latency)."""
+    return MicroarchConfig(
+        name=name,
+        training_set=training_set,
+        is_real=is_real,
+        clock_ghz=clock,
+        width=width,
+        rob_size=rob,
+        l1=CacheConfig(size=l1[0], associativity=l1[1], latency=l1[2]),
+        l2=CacheConfig(size=l2[0], associativity=l2[1], latency=l2[2]),
+        l3=CacheConfig(size=l3[0], associativity=l3[1], latency=l3[2]) if l3 else None,
+        fp_latency=fu[0],
+        mult_latency=fu[1],
+        div_latency=fu[2],
+        ports=ports,
+    )
+
+
+#: All 20 core microarchitectures, keyed by name (Tables II + III verbatim).
+CORE_MICROARCHES: dict[str, MicroarchConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        # --- Set I ---------------------------------------------------------
+        _core("Broadwell", "I", True, 4.0, 4, 192, (kb(32), 8, 4),
+              (kb(256), 8, 12), (mb(64), 16, 59), (5, 3, 20), BROADWELL_PORTS),
+        _core("Cedarview", "I", True, 1.8, 2, 32, (kb(32), 8, 3),
+              (kb(512), 8, 15), None, (5, 4, 30), CEDARVIEW_PORTS),
+        _core("Jaguar", "I", True, 1.8, 2, 56, (kb(32), 8, 3),
+              (mb(2), 16, 26), None, (4, 3, 20), JAGUAR_PORTS),
+        _core("Artificial2", "I", False, 4.0, 8, 168, (kb(32), 2, 5),
+              (kb(256), 8, 16), None, (4, 4, 20), BROADWELL_PORTS),
+        _core("Artificial3", "I", False, 3.0, 8, 32, (kb(32), 2, 3),
+              (kb(512), 16, 24), (mb(8), 32, 52), (4, 4, 20), BROADWELL_PORTS),
+        _core("Artificial4", "I", False, 4.0, 2, 192, (kb(64), 8, 3),
+              (mb(1), 8, 20), (mb(32), 16, 28), (5, 3, 20), BROADWELL_PORTS),
+        _core("Artificial6", "I", False, 3.5, 4, 192, (kb(64), 8, 4),
+              (mb(1), 8, 16), (mb(8), 32, 36), (4, 4, 20), BROADWELL_PORTS),
+        _core("Artificial7", "I", False, 3.0, 4, 32, (kb(16), 8, 3),
+              (kb(512), 16, 12), (mb(32), 32, 28), (2, 7, 69), SILVERMONT_PORTS),
+        _core("Artificial10", "I", False, 1.5, 8, 32, (kb(32), 2, 2),
+              (kb(256), 16, 24), (mb(64), 32, 36), (5, 4, 30), CEDARVIEW_PORTS),
+        _core("Artificial11", "I", False, 3.5, 4, 32, (kb(64), 4, 5),
+              (kb(256), 4, 24), None, (5, 4, 30), CEDARVIEW_PORTS),
+        # --- Set II --------------------------------------------------------
+        _core("Ivybridge", "II", True, 3.4, 4, 168, (kb(32), 8, 4),
+              (kb(256), 8, 11), (mb(16), 16, 28), (5, 3, 20), IVYBRIDGE_PORTS),
+        _core("Artificial0", "II", False, 2.5, 4, 192, (kb(64), 2, 4),
+              (kb(512), 4, 12), None, (5, 3, 20), BROADWELL_PORTS),
+        _core("Artificial9", "II", False, 3.5, 8, 192, (kb(16), 4, 5),
+              (mb(1), 4, 20), (mb(64), 16, 44), (4, 3, 11), AMD_PORTS),
+        # --- Set III -------------------------------------------------------
+        _core("Artificial1", "III", False, 1.5, 4, 192, (kb(64), 8, 5),
+              (mb(2), 8, 16), None, (4, 3, 11), AMD_PORTS),
+        _core("Artificial5", "III", False, 3.5, 2, 32, (kb(32), 4, 5),
+              (kb(256), 4, 16), (mb(8), 32, 44), (4, 3, 11), AMD_PORTS),
+        _core("Artificial8", "III", False, 3.0, 2, 192, (kb(32), 2, 2),
+              (mb(1), 16, 16), (mb(32), 32, 52), (4, 3, 11), AMD_PORTS),
+        # --- Set IV --------------------------------------------------------
+        _core("K8", "IV", True, 2.0, 3, 24, (kb(64), 2, 4),
+              (kb(512), 16, 12), None, (4, 3, 11), AMD_PORTS),
+        _core("K10", "IV", True, 2.8, 3, 24, (kb(64), 2, 4),
+              (kb(512), 16, 12), (mb(6), 16, 40), (4, 3, 11), AMD_PORTS),
+        _core("Silvermont", "IV", True, 2.2, 2, 32, (kb(32), 8, 3),
+              (mb(1), 16, 14), None, (2, 7, 69), SILVERMONT_PORTS),
+        _core("Skylake", "IV", True, 4.0, 4, 256, (kb(32), 8, 4),
+              (kb(256), 4, 12), (mb(8), 16, 34), (4, 4, 20), SKYLAKE_PORTS),
+    ]
+}
+
+
+def core_microarch(name: str) -> MicroarchConfig:
+    """Return the core preset named *name*."""
+    try:
+        return CORE_MICROARCHES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown microarchitecture {name!r}; "
+            f"available: {sorted(CORE_MICROARCHES)}"
+        ) from None
+
+
+def core_set(training_set: str) -> list[MicroarchConfig]:
+    """All core presets in the given training set ("I", "II", "III" or "IV")."""
+    if training_set not in ("I", "II", "III", "IV"):
+        raise ValueError("training_set must be one of 'I', 'II', 'III', 'IV'")
+    return [c for c in CORE_MICROARCHES.values() if c.training_set == training_set]
+
+
+def all_core_microarches() -> list[MicroarchConfig]:
+    """All 20 core presets, in Table-II order."""
+    return list(CORE_MICROARCHES.values())

@@ -1,0 +1,43 @@
+"""Synthetic workload generation (SPEC CPU2006 stand-in).
+
+This package provides the instruction-set model, the declarative synthetic
+program specs, ten SPEC CPU2006-like benchmark presets and a deterministic
+dynamic-trace generator.  Together they replace the SPEC binaries + gem5
+trace capture used in the paper.
+"""
+
+from .isa import (
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    MicroOp,
+    OpClass,
+    Opcode,
+    opcode_class,
+)
+from .program import BlockSpec, PhaseSpec, WorkloadSpec
+from .spec2006 import SPEC2006_BENCHMARKS, all_workloads, workload
+from .synth import StaticBlock, StaticInstr, SyntheticProgram, build_program
+from .trace import TraceGenerator, split_into_intervals
+
+__all__ = [
+    "MicroOp",
+    "OpClass",
+    "Opcode",
+    "opcode_class",
+    "NUM_ARCH_REGS",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "BlockSpec",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "SPEC2006_BENCHMARKS",
+    "workload",
+    "all_workloads",
+    "SyntheticProgram",
+    "StaticBlock",
+    "StaticInstr",
+    "build_program",
+    "TraceGenerator",
+    "split_into_intervals",
+]

@@ -1,0 +1,190 @@
+"""Instruction-set model used by the synthetic workloads and the simulators.
+
+The reproduction does not execute real x86 binaries.  Instead, workloads are
+streams of :class:`MicroOp` objects that carry exactly the information the
+out-of-order core model needs: an opcode, source/destination registers, a
+memory address for loads/stores and a branch outcome for control instructions.
+
+The opcode vocabulary intentionally mirrors the categories the paper's bugs
+are written against (``xor``, ``sub``, ``add``, ``popcnt`` ... as well as the
+functional-unit classes of Table III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class OpClass(enum.IntEnum):
+    """Functional-unit class of an instruction (maps onto Table III ports)."""
+
+    INT_ALU = 0
+    INT_MULT = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MULT = 4
+    FP_DIV = 5
+    VECTOR = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9
+
+
+class Opcode(enum.IntEnum):
+    """Specific opcodes.
+
+    Bugs in the paper are parameterised by opcode (e.g. "issue ``xor`` only if
+    oldest"), so the vocabulary must be finer grained than :class:`OpClass`.
+    """
+
+    ADD = 0
+    SUB = 1
+    XOR = 2
+    AND = 3
+    OR = 4
+    SHIFT = 5
+    CMP = 6
+    MOV = 7
+    POPCNT = 8
+    MUL = 9
+    DIV = 10
+    FADD = 11
+    FSUB = 12
+    FMUL = 13
+    FDIV = 14
+    VADD = 15
+    VMUL = 16
+    LOAD = 17
+    STORE = 18
+    BRANCH = 19
+    CALL = 20
+    RET = 21
+    NOP = 22
+
+
+#: Mapping from opcode to the functional-unit class that executes it.
+OPCODE_CLASS: dict[Opcode, OpClass] = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.SHIFT: OpClass.INT_ALU,
+    Opcode.CMP: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.POPCNT: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MULT,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.FADD: OpClass.FP_ALU,
+    Opcode.FSUB: OpClass.FP_ALU,
+    Opcode.FMUL: OpClass.FP_MULT,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.VADD: OpClass.VECTOR,
+    Opcode.VMUL: OpClass.VECTOR,
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+    Opcode.BRANCH: OpClass.BRANCH,
+    Opcode.CALL: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+    Opcode.NOP: OpClass.INT_ALU,
+}
+
+#: Number of architectural integer registers in the synthetic ISA.
+NUM_INT_REGS = 16
+#: Number of architectural floating-point registers in the synthetic ISA.
+NUM_FP_REGS = 16
+#: Total architectural register count (integer registers come first).
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Default instruction size in bytes (used for branch-distance bugs).
+DEFAULT_INSTR_BYTES = 4
+
+
+def opcode_class(opcode: Opcode) -> OpClass:
+    """Return the functional-unit class for *opcode*."""
+    return OPCODE_CLASS[opcode]
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """True if *opcode* accesses memory."""
+    return opcode in (Opcode.LOAD, Opcode.STORE)
+
+
+def is_branch(opcode: Opcode) -> bool:
+    """True if *opcode* is a control-flow instruction."""
+    return opcode in (Opcode.BRANCH, Opcode.CALL, Opcode.RET)
+
+
+def is_floating_point(opcode: Opcode) -> bool:
+    """True if *opcode* executes on a floating-point or vector unit."""
+    return OPCODE_CLASS[opcode] in (
+        OpClass.FP_ALU,
+        OpClass.FP_MULT,
+        OpClass.FP_DIV,
+        OpClass.VECTOR,
+    )
+
+
+@dataclass(slots=True)
+class MicroOp:
+    """One dynamic instruction as consumed by the core simulator.
+
+    Attributes
+    ----------
+    opcode:
+        The specific operation.
+    srcs:
+        Architectural source register indices (possibly empty).
+    dest:
+        Architectural destination register index, or ``None`` for stores,
+        branches and nops.
+    pc:
+        Program counter of the static instruction (byte address).
+    address:
+        Effective memory address for loads/stores, else ``None``.
+    taken:
+        Branch outcome for branches, else ``None``.
+    target:
+        Branch target address for branches, else ``None``.
+    indirect:
+        True for indirect branches (target not encoded in the instruction).
+    size:
+        Instruction size in bytes.
+    block_id:
+        Identifier of the static basic block this instruction belongs to
+        (used for basic-block-vector profiling).
+    """
+
+    opcode: Opcode
+    srcs: tuple[int, ...]
+    dest: Optional[int]
+    pc: int
+    address: Optional[int] = None
+    taken: Optional[bool] = None
+    target: Optional[int] = None
+    indirect: bool = False
+    size: int = DEFAULT_INSTR_BYTES
+    block_id: int = -1
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional-unit class of this micro-op."""
+        return OPCODE_CLASS[self.opcode]
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return is_memory(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.opcode)

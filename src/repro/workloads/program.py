@@ -1,0 +1,168 @@
+"""Parametric descriptions of synthetic programs.
+
+A synthetic benchmark is described hierarchically:
+
+* a :class:`WorkloadSpec` names the benchmark and lists its *phases*;
+* a :class:`PhaseSpec` describes one program phase (a loop over a set of basic
+  blocks with a given weight in the overall dynamic instruction count);
+* a :class:`BlockSpec` describes one basic block: its length, instruction
+  mix, data-dependency distance, memory-access pattern and terminating branch.
+
+These specs are purely declarative; :mod:`repro.workloads.synth` materialises
+them into static programs and :mod:`repro.workloads.trace` turns those into
+dynamic instruction streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Opcode
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Static description of a basic block.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, unique within the workload.
+    length:
+        Number of non-branch instructions in the block.  A terminating branch
+        is appended automatically when ``has_branch`` is true.
+    mix:
+        Relative weights of opcodes for the block body.  Loads and stores may
+        appear here; their addresses follow the block's memory pattern.
+    dep_distance:
+        Mean distance (in instructions) between a value's producer and its
+        consumer.  Small values serialise the block; large values expose ILP.
+    working_set:
+        Size in bytes of the memory region touched by this block.
+    stride:
+        Byte stride between successive memory accesses of the block.
+    random_access_fraction:
+        Fraction of memory accesses that jump to a random location inside the
+        working set instead of following the stride.
+    hot_fraction:
+        Fraction of memory accesses directed at a small, frequently reused
+        "hot" subset of the working set.  Non-zero values create the
+        frequency skew that makes replacement-policy behaviour observable.
+    hot_region_bytes:
+        Size of that hot subset in bytes.
+    has_branch:
+        Whether the block ends with a conditional branch.
+    branch_taken_prob:
+        Probability that the terminating branch is taken on a given execution.
+    branch_predictability:
+        In [0, 1]; 1 means the branch outcome follows a fixed repeating
+        pattern (easy to predict), 0 means outcomes are i.i.d. Bernoulli
+        draws with ``branch_taken_prob``.
+    indirect_branch_prob:
+        Probability that the terminating branch is indirect.
+    """
+
+    name: str
+    length: int
+    mix: dict[Opcode, float]
+    dep_distance: float = 4.0
+    working_set: int = 16 * 1024
+    stride: int = 8
+    random_access_fraction: float = 0.1
+    hot_fraction: float = 0.0
+    hot_region_bytes: int = 2048
+    has_branch: bool = True
+    branch_taken_prob: float = 0.6
+    branch_predictability: float = 0.9
+    indirect_branch_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"block {self.name!r} must have positive length")
+        if not self.mix:
+            raise ValueError(f"block {self.name!r} needs a non-empty opcode mix")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError(f"block {self.name!r} has negative mix weights")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError(f"block {self.name!r} mix weights must sum to > 0")
+        if not 0.0 <= self.branch_taken_prob <= 1.0:
+            raise ValueError("branch_taken_prob must be in [0, 1]")
+        if not 0.0 <= self.branch_predictability <= 1.0:
+            raise ValueError("branch_predictability must be in [0, 1]")
+        if not 0.0 <= self.random_access_fraction <= 1.0:
+            raise ValueError("random_access_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.working_set <= 0 or self.stride <= 0 or self.hot_region_bytes <= 0:
+            raise ValueError("working_set, stride and hot_region_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a synthetic program.
+
+    A phase repeatedly executes its blocks in order; blocks whose
+    ``probability`` is below 1.0 are guarded by a conditional branch and only
+    execute on a matching fraction of iterations.  The ``weight`` of a phase
+    is its share of the program's dynamic instruction count.
+    """
+
+    name: str
+    blocks: tuple[BlockSpec, ...]
+    weight: float = 1.0
+    block_probabilities: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError(f"phase {self.name!r} has no blocks")
+        if self.weight <= 0:
+            raise ValueError(f"phase {self.name!r} must have positive weight")
+        if self.block_probabilities and len(self.block_probabilities) != len(self.blocks):
+            raise ValueError(
+                f"phase {self.name!r}: block_probabilities length must match blocks"
+            )
+
+    def probability_of(self, index: int) -> float:
+        """Execution probability of block *index* within an iteration."""
+        if not self.block_probabilities:
+            return 1.0
+        return self.block_probabilities[index]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Top-level description of a synthetic benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"403.gcc"``).
+    operand_type:
+        ``"Integer"`` or ``"Floating Point"``, mirroring Table I.
+    phases:
+        The program phases, executed in order.
+    description:
+        Short human-readable description of the modelled application.
+    """
+
+    name: str
+    operand_type: str
+    phases: tuple[PhaseSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"workload {self.name!r} has no phases")
+        names = [b.name for p in self.phases for b in p.blocks]
+        if len(names) != len(set(names)):
+            raise ValueError(f"workload {self.name!r} has duplicate block names")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of distinct static basic blocks."""
+        return sum(len(p.blocks) for p in self.phases)
+
+    def phase_weights(self) -> list[float]:
+        """Normalised dynamic-instruction share of each phase."""
+        total = sum(p.weight for p in self.phases)
+        return [p.weight / total for p in self.phases]

@@ -1,0 +1,509 @@
+"""SPEC CPU2006-like synthetic workload presets.
+
+The paper extracts its probes from ten SPEC CPU2006 applications (Table I).
+Those binaries and their inputs are not redistributable, so this module
+defines ten synthetic workloads whose phase structure, instruction mixes,
+branch behaviour and memory footprints are modelled after the published
+characterisations of those applications.  What the methodology needs from them
+is (a) phase diversity inside each application, so SimPoint extracts multiple
+distinct probes, and (b) mix diversity across applications, so the probe set
+is performance-orthogonal — both properties are preserved here.
+
+Notably, the ``403.gcc`` preset contains one xor-heavy phase, reproducing the
+SimPoint-#12 behaviour the paper uses to motivate probe-level analysis
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+from .isa import Opcode
+from .program import BlockSpec, PhaseSpec, WorkloadSpec
+
+# Reusable opcode-mix building blocks -------------------------------------
+
+_INT_COMPUTE = {
+    Opcode.ADD: 30,
+    Opcode.SUB: 12,
+    Opcode.AND: 6,
+    Opcode.OR: 5,
+    Opcode.XOR: 2,
+    Opcode.SHIFT: 8,
+    Opcode.CMP: 10,
+    Opcode.MOV: 8,
+    Opcode.LOAD: 22,
+    Opcode.STORE: 9,
+}
+
+_INT_POINTER_CHASE = {
+    Opcode.ADD: 18,
+    Opcode.CMP: 12,
+    Opcode.MOV: 10,
+    Opcode.LOAD: 40,
+    Opcode.STORE: 8,
+    Opcode.SUB: 6,
+    Opcode.AND: 3,
+}
+
+_FP_COMPUTE = {
+    Opcode.FADD: 24,
+    Opcode.FMUL: 22,
+    Opcode.FSUB: 8,
+    Opcode.FDIV: 2,
+    Opcode.VADD: 6,
+    Opcode.VMUL: 6,
+    Opcode.ADD: 8,
+    Opcode.LOAD: 18,
+    Opcode.STORE: 8,
+    Opcode.MOV: 4,
+}
+
+_XOR_HEAVY = {
+    Opcode.XOR: 14,
+    Opcode.AND: 10,
+    Opcode.OR: 8,
+    Opcode.SHIFT: 12,
+    Opcode.ADD: 16,
+    Opcode.CMP: 8,
+    Opcode.LOAD: 22,
+    Opcode.STORE: 8,
+    Opcode.MOV: 4,
+}
+
+_BRANCHY_INT = {
+    Opcode.ADD: 20,
+    Opcode.SUB: 10,
+    Opcode.CMP: 22,
+    Opcode.AND: 6,
+    Opcode.XOR: 3,
+    Opcode.MOV: 8,
+    Opcode.LOAD: 24,
+    Opcode.STORE: 6,
+    Opcode.POPCNT: 2,
+}
+
+_STREAMING = {
+    Opcode.ADD: 16,
+    Opcode.SHIFT: 6,
+    Opcode.XOR: 5,
+    Opcode.CMP: 6,
+    Opcode.LOAD: 40,
+    Opcode.STORE: 20,
+    Opcode.MOV: 4,
+}
+
+_MUL_DIV_HEAVY = {
+    Opcode.MUL: 10,
+    Opcode.DIV: 2,
+    Opcode.ADD: 24,
+    Opcode.SUB: 8,
+    Opcode.CMP: 8,
+    Opcode.LOAD: 26,
+    Opcode.STORE: 10,
+    Opcode.MOV: 6,
+}
+
+
+def _block(
+    name: str,
+    mix: dict[Opcode, float],
+    *,
+    length: int = 24,
+    dep: float = 4.0,
+    ws: int = 32 * 1024,
+    stride: int = 8,
+    rand: float = 0.1,
+    hot: float = 0.0,
+    taken: float = 0.7,
+    pred: float = 0.92,
+    indirect: float = 0.0,
+) -> BlockSpec:
+    """Shorthand constructor for the preset tables below."""
+    return BlockSpec(
+        name=name,
+        length=length,
+        mix=mix,
+        dep_distance=dep,
+        working_set=ws,
+        stride=stride,
+        random_access_fraction=rand,
+        hot_fraction=hot,
+        branch_taken_prob=taken,
+        branch_predictability=pred,
+        indirect_branch_prob=indirect,
+    )
+
+
+def _perlbench() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="400.perlbench",
+        operand_type="Integer",
+        description="PERL interpreter: branchy dispatch loops and hash tables",
+        phases=(
+            PhaseSpec(
+                name="interp_dispatch",
+                weight=3.0,
+                blocks=(
+                    _block("perl_dispatch", _BRANCHY_INT, length=18, pred=0.8,
+                           taken=0.55, indirect=0.25, ws=32 * 1024, rand=0.2),
+                    _block("perl_opcode_body", _INT_COMPUTE, length=28, dep=3.0,
+                           ws=48 * 1024),
+                ),
+            ),
+            PhaseSpec(
+                name="hash_ops",
+                weight=2.0,
+                blocks=(
+                    _block("perl_hash", _INT_POINTER_CHASE, length=22, ws=64 * 1024,
+                           rand=0.35, hot=0.3, pred=0.85, taken=0.6),
+                    _block("perl_string", _INT_COMPUTE, length=30, dep=5.0,
+                           ws=16 * 1024, stride=1),
+                ),
+            ),
+            PhaseSpec(
+                name="regex",
+                weight=1.5,
+                blocks=(
+                    _block("perl_regex", _BRANCHY_INT, length=20, pred=0.7,
+                           taken=0.5, ws=8 * 1024),
+                ),
+            ),
+        ),
+    )
+
+
+def _bzip2() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="401.bzip2",
+        operand_type="Integer",
+        description="Burrows-Wheeler compression: sorting and bit manipulation",
+        phases=(
+            PhaseSpec(
+                name="block_sort",
+                weight=3.0,
+                blocks=(
+                    _block("bzip_sort_cmp", _BRANCHY_INT, length=26, pred=0.75,
+                           taken=0.5, ws=64 * 1024, rand=0.25, hot=0.25, dep=3.0),
+                    _block("bzip_sort_swap", _INT_COMPUTE, length=18, ws=64 * 1024,
+                           rand=0.2),
+                ),
+            ),
+            PhaseSpec(
+                name="huffman",
+                weight=2.0,
+                blocks=(
+                    _block("bzip_huffman", _XOR_HEAVY, length=26, dep=3.5,
+                           ws=32 * 1024),
+                    _block("bzip_bitstream", _INT_COMPUTE, length=22, dep=2.5,
+                           ws=8 * 1024, stride=1),
+                ),
+            ),
+            PhaseSpec(
+                name="mtf",
+                weight=1.5,
+                blocks=(
+                    _block("bzip_mtf", _STREAMING, length=20, ws=32 * 1024,
+                           stride=1, pred=0.9),
+                ),
+            ),
+        ),
+    )
+
+
+def _gcc() -> WorkloadSpec:
+    """403.gcc: compiler passes; includes an xor-heavy bit-set phase.
+
+    The xor-heavy ``gcc_bitset`` phase has a modest weight so that whole-
+    application IPC barely moves under an xor-targeted bug, while the probe
+    extracted from that phase degrades strongly (the paper's Figure 3 story).
+    """
+    return WorkloadSpec(
+        name="403.gcc",
+        operand_type="Integer",
+        description="C compiler: tree walks, dataflow bit-sets and register allocation",
+        phases=(
+            PhaseSpec(
+                name="parse",
+                weight=2.5,
+                blocks=(
+                    _block("gcc_parse", _BRANCHY_INT, length=22, pred=0.78,
+                           taken=0.55, indirect=0.15, ws=48 * 1024, rand=0.2),
+                    _block("gcc_tree_walk", _INT_POINTER_CHASE, length=24,
+                           ws=128 * 1024, rand=0.35, hot=0.3, dep=2.5),
+                ),
+            ),
+            PhaseSpec(
+                name="dataflow_bitset",
+                weight=1.0,
+                blocks=(
+                    _block("gcc_bitset", _XOR_HEAVY, length=30, dep=5.0,
+                           ws=64 * 1024, stride=8, pred=0.95, taken=0.85),
+                ),
+            ),
+            PhaseSpec(
+                name="regalloc",
+                weight=2.0,
+                blocks=(
+                    _block("gcc_regalloc", _INT_COMPUTE, length=26, dep=3.0,
+                           ws=64 * 1024, rand=0.15),
+                    _block("gcc_spill", _STREAMING, length=18, ws=32 * 1024),
+                ),
+            ),
+            PhaseSpec(
+                name="emit",
+                weight=1.5,
+                blocks=(
+                    _block("gcc_emit", _INT_COMPUTE, length=20, ws=32 * 1024,
+                           stride=4, pred=0.9, taken=0.7),
+                ),
+            ),
+        ),
+    )
+
+
+def _mcf() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="426.mcf",
+        operand_type="Integer",
+        description="Network simplex: pointer chasing over a large graph",
+        phases=(
+            PhaseSpec(
+                name="pricing",
+                weight=3.0,
+                blocks=(
+                    _block("mcf_arc_scan", _INT_POINTER_CHASE, length=20,
+                           ws=1024 * 1024, rand=0.5, hot=0.25, dep=2.0, pred=0.8,
+                           taken=0.5),
+                ),
+            ),
+            PhaseSpec(
+                name="simplex_pivot",
+                weight=2.0,
+                blocks=(
+                    _block("mcf_pivot", _INT_COMPUTE, length=24, ws=256 * 1024,
+                           rand=0.4, dep=2.5),
+                    _block("mcf_update", _INT_POINTER_CHASE, length=18,
+                           ws=512 * 1024, rand=0.45, hot=0.2, pred=0.85),
+                ),
+            ),
+        ),
+    )
+
+
+def _milc() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="433.milc",
+        operand_type="Floating Point",
+        description="Lattice QCD: SU(3) matrix arithmetic over large arrays",
+        phases=(
+            PhaseSpec(
+                name="su3_mult",
+                weight=3.0,
+                blocks=(
+                    _block("milc_su3", _FP_COMPUTE, length=32, dep=4.5,
+                           ws=128 * 1024, stride=64, pred=0.97, taken=0.9),
+                ),
+            ),
+            PhaseSpec(
+                name="gather",
+                weight=1.5,
+                blocks=(
+                    _block("milc_gather", _STREAMING, length=20, ws=256 * 1024,
+                           stride=64, rand=0.15, pred=0.95),
+                ),
+            ),
+            PhaseSpec(
+                name="cg_solver",
+                weight=2.0,
+                blocks=(
+                    _block("milc_cg", _FP_COMPUTE, length=28, dep=3.0,
+                           ws=128 * 1024, stride=32),
+                    _block("milc_reduce", _FP_COMPUTE, length=16, dep=2.0,
+                           ws=64 * 1024),
+                ),
+            ),
+        ),
+    )
+
+
+def _cactus() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="436.cactusADM",
+        operand_type="Floating Point",
+        description="Numerical relativity: long-dependency stencil kernels",
+        phases=(
+            PhaseSpec(
+                name="stencil",
+                weight=4.0,
+                blocks=(
+                    _block("cactus_stencil", _FP_COMPUTE, length=40, dep=2.0,
+                           ws=256 * 1024, stride=128, pred=0.98, taken=0.92),
+                ),
+            ),
+            PhaseSpec(
+                name="boundary",
+                weight=1.0,
+                blocks=(
+                    _block("cactus_boundary", _FP_COMPUTE, length=22, dep=3.0,
+                           ws=64 * 1024, stride=64),
+                    _block("cactus_copy", _STREAMING, length=16, ws=128 * 1024,
+                           stride=64),
+                ),
+            ),
+        ),
+    )
+
+
+def _namd() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="444.namd",
+        operand_type="Floating Point",
+        description="Molecular dynamics: pairwise force computation",
+        phases=(
+            PhaseSpec(
+                name="pairlist",
+                weight=2.0,
+                blocks=(
+                    _block("namd_pairlist", _BRANCHY_INT, length=20, pred=0.82,
+                           taken=0.6, ws=128 * 1024, rand=0.25, hot=0.25),
+                ),
+            ),
+            PhaseSpec(
+                name="force",
+                weight=4.0,
+                blocks=(
+                    _block("namd_force", _FP_COMPUTE, length=36, dep=5.0,
+                           ws=64 * 1024, stride=32, pred=0.96, taken=0.88),
+                    _block("namd_accum", _FP_COMPUTE, length=18, dep=2.5,
+                           ws=64 * 1024),
+                ),
+            ),
+        ),
+    )
+
+
+def _soplex() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="450.soplex",
+        operand_type="Floating Point",
+        description="Simplex LP solver: sparse linear algebra",
+        phases=(
+            PhaseSpec(
+                name="factorize",
+                weight=2.0,
+                blocks=(
+                    _block("soplex_factor", _MUL_DIV_HEAVY, length=26, dep=3.0,
+                           ws=256 * 1024, rand=0.2),
+                    _block("soplex_fp", _FP_COMPUTE, length=24, dep=3.5,
+                           ws=128 * 1024, stride=16),
+                ),
+            ),
+            PhaseSpec(
+                name="pricing",
+                weight=2.5,
+                blocks=(
+                    _block("soplex_price", _STREAMING, length=22, ws=512 * 1024,
+                           stride=16, rand=0.2, hot=0.2, pred=0.9),
+                ),
+            ),
+            PhaseSpec(
+                name="ratio_test",
+                weight=1.5,
+                blocks=(
+                    _block("soplex_ratio", _BRANCHY_INT, length=18, pred=0.75,
+                           taken=0.5, ws=64 * 1024, rand=0.2),
+                ),
+            ),
+        ),
+    )
+
+
+def _sjeng() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="458.sjeng",
+        operand_type="Integer",
+        description="Chess engine: deep recursion with unpredictable branches",
+        phases=(
+            PhaseSpec(
+                name="search",
+                weight=3.5,
+                blocks=(
+                    _block("sjeng_search", _BRANCHY_INT, length=22, pred=0.65,
+                           taken=0.5, ws=32 * 1024, rand=0.2, indirect=0.1),
+                    _block("sjeng_movegen", _XOR_HEAVY, length=24, dep=4.0,
+                           ws=64 * 1024, pred=0.85, taken=0.75),
+                ),
+            ),
+            PhaseSpec(
+                name="eval",
+                weight=2.0,
+                blocks=(
+                    _block("sjeng_eval", _INT_COMPUTE, length=28, dep=3.5,
+                           ws=32 * 1024),
+                    _block("sjeng_hash_probe", _INT_POINTER_CHASE, length=14,
+                           ws=512 * 1024, rand=0.6, hot=0.3, pred=0.8, taken=0.45),
+                ),
+            ),
+        ),
+    )
+
+
+def _libquantum() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="462.libquantum",
+        operand_type="Integer",
+        description="Quantum simulation: streaming sweeps with xor gate updates",
+        phases=(
+            PhaseSpec(
+                name="toffoli",
+                weight=3.0,
+                blocks=(
+                    _block("libq_gate", _XOR_HEAVY, length=24, dep=6.0,
+                           ws=512 * 1024, stride=16, rand=0.05,
+                           pred=0.98, taken=0.93),
+                ),
+            ),
+            PhaseSpec(
+                name="measure",
+                weight=1.5,
+                blocks=(
+                    _block("libq_measure", _STREAMING, length=18,
+                           ws=512 * 1024, stride=16, pred=0.97),
+                    _block("libq_collapse", _INT_COMPUTE, length=20, dep=4.0,
+                           ws=64 * 1024),
+                ),
+            ),
+        ),
+    )
+
+
+#: Factory functions for the ten Table-I benchmarks, keyed by name.
+_FACTORIES = {
+    "400.perlbench": _perlbench,
+    "401.bzip2": _bzip2,
+    "403.gcc": _gcc,
+    "426.mcf": _mcf,
+    "433.milc": _milc,
+    "436.cactusADM": _cactus,
+    "444.namd": _namd,
+    "450.soplex": _soplex,
+    "458.sjeng": _sjeng,
+    "462.libquantum": _libquantum,
+}
+
+#: Names of the ten benchmarks, in Table-I order.
+SPEC2006_BENCHMARKS = tuple(_FACTORIES.keys())
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Return the preset :class:`WorkloadSpec` for benchmark *name*."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    """Return all ten SPEC CPU2006-like workload presets."""
+    return [factory() for factory in _FACTORIES.values()]

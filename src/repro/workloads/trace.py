@@ -1,0 +1,184 @@
+"""Dynamic-trace generation for synthetic programs.
+
+The :class:`TraceGenerator` walks a :class:`~repro.workloads.synth.SyntheticProgram`
+phase by phase and emits a stream of :class:`~repro.workloads.isa.MicroOp`
+objects with concrete memory addresses and branch outcomes.  Generation is
+fully deterministic given the program and a seed, which is what lets SimPoint
+probes be re-extracted reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .isa import MicroOp, Opcode
+from .program import PhaseSpec
+from .synth import StaticBlock, SyntheticProgram
+
+
+@dataclass
+class _BlockDynamicState:
+    """Per-block mutable state used while generating dynamic instructions."""
+
+    mem_cursor: int = 0
+    branch_counter: int = 0
+
+
+class _BranchModel:
+    """Outcome model for a block's terminating branch.
+
+    With probability ``predictability`` the outcome follows a fixed periodic
+    pattern whose duty cycle matches ``taken_prob`` (a loop-like, predictable
+    branch); otherwise it is an independent Bernoulli draw (a data-dependent,
+    hard-to-predict branch).
+    """
+
+    def __init__(self, taken_prob: float, predictability: float) -> None:
+        self.taken_prob = taken_prob
+        self.predictability = predictability
+        if taken_prob >= 0.5:
+            self.period = max(2, round(1.0 / max(1.0 - taken_prob, 0.02)))
+            self.pattern_taken_on_tick = False
+        else:
+            self.period = max(2, round(1.0 / max(taken_prob, 0.02)))
+            self.pattern_taken_on_tick = True
+
+    def outcome(self, counter: int, rng: np.random.Generator) -> bool:
+        if rng.random() < self.predictability:
+            on_tick = (counter % self.period) == self.period - 1
+            return on_tick if self.pattern_taken_on_tick else not on_tick
+        return bool(rng.random() < self.taken_prob)
+
+
+class TraceGenerator:
+    """Generates dynamic instruction traces from a synthetic program."""
+
+    def __init__(self, program: SyntheticProgram, seed: int = 0) -> None:
+        self.program = program
+        self.seed = seed
+        self._branch_models = {
+            block.block_id: _BranchModel(
+                block.spec.branch_taken_prob, block.spec.branch_predictability
+            )
+            for block in program.all_blocks()
+        }
+
+    def generate(self, num_instructions: int) -> list[MicroOp]:
+        """Generate approximately *num_instructions* dynamic micro-ops.
+
+        Phases receive a share of the budget proportional to their weights and
+        are emitted in program order.  The returned trace may be slightly
+        longer than requested because blocks are never truncated mid-way.
+        """
+        if num_instructions <= 0:
+            raise ValueError("num_instructions must be positive")
+        rng = np.random.default_rng(self.seed)
+        weights = self.program.spec.phase_weights()
+        trace: list[MicroOp] = []
+        for (phase, blocks), weight in zip(self.program.phases, weights):
+            budget = max(1, int(round(num_instructions * weight)))
+            self._emit_phase(phase, blocks, budget, rng, trace)
+        return trace
+
+    def _emit_phase(
+        self,
+        phase: PhaseSpec,
+        blocks: list[StaticBlock],
+        budget: int,
+        rng: np.random.Generator,
+        out: list[MicroOp],
+    ) -> None:
+        """Emit one phase worth of dynamic instructions into *out*."""
+        states = {b.block_id: _BlockDynamicState() for b in blocks}
+        emitted = 0
+        # Pre-compute possible indirect-branch targets for this phase: block
+        # entry points, which is what an indirect jump table would contain.
+        entry_points = [b.code_base for b in blocks]
+        while emitted < budget:
+            for index, block in enumerate(blocks):
+                probability = phase.probability_of(index)
+                if probability < 1.0 and rng.random() > probability:
+                    continue
+                emitted += self._emit_block(
+                    block, states[block.block_id], rng, entry_points, out
+                )
+            if emitted == 0:
+                # Degenerate phase where every block was skipped; force the
+                # first block so the generator always terminates.
+                emitted += self._emit_block(
+                    blocks[0], states[blocks[0].block_id], rng, entry_points, out
+                )
+
+    def _emit_block(
+        self,
+        block: StaticBlock,
+        state: _BlockDynamicState,
+        rng: np.random.Generator,
+        entry_points: list[int],
+        out: list[MicroOp],
+    ) -> int:
+        """Emit one dynamic execution of *block*; returns instructions emitted."""
+        spec = block.spec
+        working_set = max(spec.working_set, spec.stride)
+        for instr in block.instrs:
+            address = None
+            taken = None
+            target = None
+            indirect = False
+            if instr.is_mem:
+                draw = rng.random()
+                if spec.hot_fraction and draw < spec.hot_fraction:
+                    hot_span = max(8, min(spec.hot_region_bytes, working_set))
+                    offset = int(rng.integers(0, hot_span // 8)) * 8
+                elif draw < spec.hot_fraction + spec.random_access_fraction:
+                    offset = int(rng.integers(0, working_set // 8)) * 8
+                else:
+                    offset = state.mem_cursor
+                    state.mem_cursor = (state.mem_cursor + spec.stride) % working_set
+                address = block.data_base + offset
+            elif instr.is_branch:
+                model = self._branch_models[block.block_id]
+                taken = model.outcome(state.branch_counter, rng)
+                state.branch_counter += 1
+                indirect = bool(rng.random() < spec.indirect_branch_prob)
+                if indirect:
+                    target = entry_points[int(rng.integers(0, len(entry_points)))]
+                else:
+                    # Backward branch to the top of the block when taken,
+                    # fall-through otherwise.
+                    target = block.code_base if taken else instr.pc + instr.size
+            out.append(
+                MicroOp(
+                    opcode=instr.opcode,
+                    srcs=instr.srcs,
+                    dest=instr.dest,
+                    pc=instr.pc,
+                    address=address,
+                    taken=taken,
+                    target=target,
+                    indirect=indirect,
+                    size=instr.size,
+                    block_id=block.block_id,
+                )
+            )
+        return len(block.instrs)
+
+
+def split_into_intervals(
+    trace: list[MicroOp], interval_size: int
+) -> list[list[MicroOp]]:
+    """Split *trace* into consecutive intervals of *interval_size* instructions.
+
+    The final partial interval is dropped when it is shorter than half the
+    interval size, mirroring how SimPoint discards incomplete intervals.
+    """
+    if interval_size <= 0:
+        raise ValueError("interval_size must be positive")
+    intervals = [
+        trace[i : i + interval_size] for i in range(0, len(trace), interval_size)
+    ]
+    if intervals and len(intervals[-1]) < interval_size // 2:
+        intervals.pop()
+    return intervals

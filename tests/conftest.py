@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite (small, fast objects only)."""
+
+import pytest
+
+from repro.uarch import core_microarch
+from repro.workloads import TraceGenerator, build_program, workload
+
+
+@pytest.fixture(scope="session")
+def gcc_program():
+    """A materialised 403.gcc-like synthetic program."""
+    return build_program(workload("403.gcc"), seed=11)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace(gcc_program):
+    """A short dynamic trace of the gcc-like program."""
+    return TraceGenerator(gcc_program, seed=12).generate(6000)
+
+
+@pytest.fixture(scope="session")
+def skylake():
+    return core_microarch("Skylake")
+
+
+@pytest.fixture(scope="session")
+def k8():
+    return core_microarch("K8")

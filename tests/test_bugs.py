@@ -1,0 +1,165 @@
+"""Tests for the bug-injection framework (core and memory bugs)."""
+
+import pytest
+
+from repro.bugs import (
+    CORE_BUG_TYPES,
+    MEMORY_BUG_TYPES,
+    BPTableReduction,
+    IQPressureDelay,
+    IfOldestIssueOnly,
+    IssueOnlyIfOldest,
+    L2LatencyBug,
+    LongBranchDelay,
+    MispredictPenalty,
+    OpcodeUsesRegisterDelay,
+    RegisterReduction,
+    SerializeOpcode,
+    Severity,
+    StoresToLineDelay,
+    StoresToRegisterDelay,
+    all_core_bugs,
+    all_memory_bugs,
+    core_bug_suite,
+    figure1_bug1,
+    figure1_bug2,
+    ipc_impact,
+    measure_severity,
+    memory_bug_suite,
+    severity_distribution,
+)
+from repro.coresim import simulate_trace
+from repro.coresim.hooks import DispatchContext
+from repro.workloads import MicroOp, Opcode
+
+
+def _uop(opcode, srcs=(1, 2), dest=3, address=None, pc=0x400, target=None):
+    return MicroOp(opcode=opcode, srcs=srcs, dest=dest, pc=pc, address=address,
+                   target=target, taken=True if opcode is Opcode.BRANCH else None)
+
+
+_CTX = DispatchContext(iq_free=32, rob_free=128, producer_opcodes=())
+
+
+class TestRegistry:
+    def test_all_fourteen_types_present(self):
+        suite = core_bug_suite()
+        assert set(suite) == set(CORE_BUG_TYPES)
+        assert len(CORE_BUG_TYPES) == 14
+        assert all(len(v) >= 2 for v in suite.values())
+
+    def test_variant_limit(self):
+        limited = core_bug_suite(max_variants_per_type=1)
+        assert all(len(v) == 1 for v in limited.values())
+        with pytest.raises(ValueError):
+            core_bug_suite(max_variants_per_type=0)
+
+    def test_bug_names_unique(self):
+        names = [bug.name for bug in all_core_bugs()]
+        assert len(names) == len(set(names))
+
+    def test_memory_suite(self):
+        assert set(memory_bug_suite()) == set(MEMORY_BUG_TYPES)
+        assert len(MEMORY_BUG_TYPES) == 6
+        assert len(all_memory_bugs(1)) == 6
+
+
+class TestCoreBugHooks:
+    def test_serialize(self):
+        bug = SerializeOpcode(Opcode.XOR)
+        assert bug.serialize(_uop(Opcode.XOR))
+        assert not bug.serialize(_uop(Opcode.ADD))
+
+    def test_issue_only_if_oldest(self):
+        bug = IssueOnlyIfOldest(Opcode.MUL)
+        assert bug.issue_only_if_oldest(_uop(Opcode.MUL))
+        assert not bug.issue_only_if_oldest(_uop(Opcode.XOR))
+
+    def test_if_oldest_issue_only(self):
+        bug = IfOldestIssueOnly(Opcode.XOR)
+        assert bug.oldest_blocks_others(_uop(Opcode.XOR))
+        assert not bug.oldest_blocks_others(_uop(Opcode.SUB))
+
+    def test_iq_pressure_delay(self):
+        bug = IQPressureDelay(threshold=8, delay=5)
+        crowded = DispatchContext(iq_free=3, rob_free=100, producer_opcodes=())
+        assert bug.extra_issue_delay(_uop(Opcode.ADD), crowded) == 5
+        assert bug.extra_issue_delay(_uop(Opcode.ADD), _CTX) == 0
+
+    def test_mispredict_penalty(self):
+        bug = MispredictPenalty(12)
+        assert bug.branch_extra_penalty(_uop(Opcode.BRANCH), True) == 12
+        assert bug.branch_extra_penalty(_uop(Opcode.BRANCH), False) == 0
+
+    def test_stores_to_line(self):
+        bug = StoresToLineDelay(threshold=2, delay=9)
+        bug.on_simulation_start(None)
+        store = _uop(Opcode.STORE, dest=None, address=0x1000)
+        assert bug.extra_issue_delay(store, _CTX) == 0
+        assert bug.extra_issue_delay(store, _CTX) == 0
+        assert bug.extra_issue_delay(store, _CTX) == 9  # third store to same line
+
+    def test_stores_to_register_modes(self):
+        after = StoresToRegisterDelay(threshold=2, delay=4, mode="after")
+        after.on_simulation_start(None)
+        writes = [_uop(Opcode.ADD, dest=5) for _ in range(4)]
+        delays = [after.extra_issue_delay(u, _CTX) for u in writes]
+        assert delays == [0, 0, 4, 4]
+        every = StoresToRegisterDelay(threshold=2, delay=4, mode="every")
+        every.on_simulation_start(None)
+        delays = [every.extra_issue_delay(u, _CTX) for u in writes]
+        assert delays == [0, 4, 0, 4]
+        with pytest.raises(ValueError):
+            StoresToRegisterDelay(2, 4, mode="sometimes")
+
+    def test_l2_latency_and_register_reduction(self):
+        assert L2LatencyBug(6).cache_extra_latency(2) == 6
+        assert L2LatencyBug(6).cache_extra_latency(1) == 0
+        assert RegisterReduction(32).register_reduction() == 32
+
+    def test_long_branch_delay(self):
+        bug = LongBranchDelay(distance_bytes=64, delay=3)
+        near = _uop(Opcode.BRANCH, dest=None, pc=0x400, target=0x420)
+        far = _uop(Opcode.BRANCH, dest=None, pc=0x400, target=0x4000)
+        assert bug.extra_issue_delay(near, _CTX) == 0
+        assert bug.extra_issue_delay(far, _CTX) == 3
+
+    def test_opcode_uses_register(self):
+        bug = OpcodeUsesRegisterDelay(Opcode.ADD, register=0, delay=10)
+        assert bug.extra_issue_delay(_uop(Opcode.ADD, srcs=(0, 2)), _CTX) == 10
+        assert bug.extra_issue_delay(_uop(Opcode.ADD, srcs=(1, 2), dest=0), _CTX) == 10
+        assert bug.extra_issue_delay(_uop(Opcode.ADD, srcs=(1, 2), dest=3), _CTX) == 0
+        assert bug.extra_issue_delay(_uop(Opcode.SUB, srcs=(0, 0)), _CTX) == 0
+
+    def test_bp_table_reduction(self):
+        assert BPTableReduction(4000).bp_table_entries(4096) == 96
+        assert BPTableReduction(100000).bp_table_entries(4096) == 4  # clamped
+
+
+class TestBugImpact:
+    def test_serialize_degrades_ipc(self, skylake, gcc_trace):
+        trace = gcc_trace[:2500]
+        impact = ipc_impact(skylake, trace, figure1_bug2(), step_cycles=512)
+        assert impact > 0.03
+
+    def test_named_bugs(self):
+        assert figure1_bug1().bug_type == "IfOldestIssueOnlyX"
+        assert figure1_bug2().bug_type == "Serialized"
+
+    def test_severity_bands(self):
+        assert Severity.from_impact(0.2) is Severity.HIGH
+        assert Severity.from_impact(0.07) is Severity.MEDIUM
+        assert Severity.from_impact(0.02) is Severity.LOW
+        assert Severity.from_impact(0.001) is Severity.VERY_LOW
+
+    def test_measure_severity_and_distribution(self, skylake, gcc_trace):
+        report = measure_severity(figure1_bug2(), skylake,
+                                  {"gcc": gcc_trace[:1500]}, step_cycles=512)
+        assert 0.0 <= report.average_impact <= 1.0
+        assert report.severity in tuple(Severity)
+        distribution = severity_distribution([report])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            severity_distribution([])
+        with pytest.raises(ValueError):
+            measure_severity(figure1_bug2(), skylake, {})

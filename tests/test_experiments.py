@@ -1,0 +1,77 @@
+"""Tests for the experiments harness (scales, context, rendering, runner)."""
+
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentContext,
+    ExperimentResult,
+    get_scale,
+    render_table,
+)
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"smoke", "small", "full"}
+        assert get_scale("smoke").name == "smoke"
+        assert get_scale(SCALES["full"]) is SCALES["full"]
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_full_scale_covers_paper_configuration(self):
+        full = get_scale("full")
+        assert len(full.benchmarks) == 10
+        assert full.bug_types is None
+        assert "GBT-250" in full.engines
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "b": 0.5}, {"a": 20, "c": "x"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_result_to_text(self):
+        result = ExperimentResult("x", "Title", [{"v": 1}], notes="note")
+        text = result.to_text()
+        assert "Title" in text and "note" in text
+
+
+class TestContext:
+    def test_design_sets(self):
+        context = ExperimentContext("smoke")
+        sets = context.core_designs()
+        assert set(sets) == {"I", "II", "III", "IV"}
+        assert all(sets.values())
+        mem_sets = context.memory_designs()
+        assert len(mem_sets["IV"]) == 2
+
+    def test_bug_suites_respect_scale(self):
+        context = ExperimentContext("smoke")
+        suite = context.core_bugs()
+        assert set(suite) == set(context.scale.bug_types)
+        assert all(len(v) == 1 for v in suite.values())
+
+    def test_detection_setup_composition(self):
+        context = ExperimentContext("smoke")
+        setup = context.detection_setup(engine="Lasso")
+        assert setup.model_config.engine == "Lasso"
+        assert setup.cache is context.cache
+        assert len(setup.probes) == 0 or setup.probes[0] is not context.probes[0]
+
+
+class TestRunner:
+    def test_experiment_registry_complete(self):
+        expected = {"fig1", "fig3", "fig4", "tab4", "fig5", "fig6", "tab5", "fig8",
+                    "fig9", "fig10", "fig11", "tab6", "fig12", "fig13", "tab7"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all("smoke", only=["tab99"])

@@ -1,0 +1,75 @@
+"""End-to-end integration tests of the two-stage methodology (tiny scale)."""
+
+import pytest
+
+from repro.bugs import SerializeOpcode, core_bug_suite
+from repro.detect import (
+    DetectionSetup,
+    ProbeModelConfig,
+    SimulationCache,
+    TwoStageDetector,
+    build_probes,
+)
+from repro.uarch import core_microarch
+from repro.workloads import Opcode
+
+
+@pytest.fixture(scope="module")
+def tiny_detector():
+    """A fully prepared detector on a deliberately tiny configuration."""
+    probes = build_probes(["403.gcc"], instructions_per_benchmark=9000,
+                          interval_size=3000, max_simpoints_per_benchmark=3, seed=4)
+    names_i = ["Broadwell", "Jaguar", "Artificial2", "Artificial6", "Artificial10"]
+    names_ii = ["Ivybridge", "Artificial0"]
+    names_iii = ["Artificial1", "Artificial5"]
+    names_iv = ["Skylake", "K8"]
+    suite = {k: v for k, v in core_bug_suite(max_variants_per_type=1).items()
+             if k in ("Serialized", "RegisterReduction")}
+    setup = DetectionSetup(
+        probes=probes,
+        train_designs=[core_microarch(n) for n in names_i],
+        val_designs=[core_microarch(n) for n in names_ii],
+        stage2_designs=[core_microarch(n) for n in names_ii + names_iii],
+        test_designs=[core_microarch(n) for n in names_iv],
+        bug_suite=suite,
+        cache=SimulationCache(step_cycles=512),
+        model_config=ProbeModelConfig(engine="GBT-150"),
+    )
+    detector = TwoStageDetector(setup)
+    detector.prepare()
+    return detector
+
+
+class TestTwoStageIntegration:
+    def test_counters_selected_for_every_probe(self, tiny_detector):
+        for probe in tiny_detector.setup.probes:
+            assert 4 <= len(probe.counters) <= 64
+
+    def test_error_vector_shape_and_positivity(self, tiny_detector):
+        skylake = core_microarch("Skylake")
+        errors = tiny_detector.error_vector(skylake)
+        assert errors.shape == (len(tiny_detector.setup.probes),)
+        assert (errors >= 0).all()
+
+    def test_strong_bug_raises_errors(self, tiny_detector):
+        skylake = core_microarch("Skylake")
+        clean = tiny_detector.error_vector(skylake)
+        buggy = tiny_detector.error_vector(skylake, SerializeOpcode(Opcode.SUB))
+        assert buggy.max() > clean.max()
+
+    def test_leave_one_out_evaluation(self, tiny_detector):
+        result = tiny_detector.evaluate()
+        assert set(result.folds) == {"Serialized", "RegisterReduction"}
+        assert 0.0 <= result.overall.tpr <= 1.0
+        assert 0.0 <= result.overall.fpr <= 1.0
+        assert 0.0 <= result.overall.roc_auc <= 1.0
+        # Each fold tests bug-free + one variant on both test designs.
+        for fold in result.folds.values():
+            assert len(fold.labels) == 4
+            assert sum(fold.labels) == 2
+        assert set(result.severity_of_bug) == {"serialize_xor", "register_reduction_48"}
+
+    def test_summary_row_keys(self, tiny_detector):
+        result = tiny_detector.evaluate(bug_types=["Serialized"])
+        row = result.summary_row()
+        assert {"FPR", "TPR", "ROC AUC", "Precision"}.issubset(row)

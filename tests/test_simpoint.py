@@ -1,0 +1,119 @@
+"""Tests for BBV profiling, k-means clustering and SimPoint selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simpoint import (
+    SimPointSelection,
+    basic_block_vector,
+    bbv_matrix,
+    bic_score,
+    choose_k,
+    kmeans,
+    project_bbvs,
+    select_simpoints,
+    weighted_average,
+)
+from repro.workloads import TraceGenerator, build_program, workload
+
+
+class TestBBV:
+    def test_bbv_counts_and_normalisation(self, gcc_program, gcc_trace):
+        vector = basic_block_vector(gcc_trace[:500], gcc_program.num_blocks)
+        assert vector.shape == (gcc_program.num_blocks,)
+        assert abs(vector.sum() - 1.0) < 1e-9
+        raw = basic_block_vector(gcc_trace[:500], gcc_program.num_blocks, normalize=False)
+        assert raw.sum() == 500
+
+    def test_bbv_matrix_shape(self, gcc_program, gcc_trace):
+        intervals = [gcc_trace[i:i + 300] for i in range(0, 1500, 300)]
+        matrix = bbv_matrix(intervals, gcc_program.num_blocks)
+        assert matrix.shape == (5, gcc_program.num_blocks)
+
+    def test_bbv_rejects_bad_inputs(self, gcc_trace):
+        with pytest.raises(ValueError):
+            basic_block_vector(gcc_trace[:10], 0)
+        with pytest.raises(ValueError):
+            bbv_matrix([], 4)
+
+    def test_projection_reduces_dimensionality(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((20, 40))
+        projected = project_bbvs(matrix, dims=5, seed=1)
+        assert projected.shape == (20, 5)
+        # Already-small matrices pass through unchanged.
+        small = rng.random((20, 3))
+        assert np.array_equal(project_bbvs(small, dims=5), small)
+
+
+class TestKMeans:
+    def test_kmeans_separates_obvious_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.05, size=(30, 2))
+        b = rng.normal(5.0, 0.05, size=(30, 2))
+        result = kmeans(np.vstack([a, b]), k=2, seed=0)
+        labels_a = set(result.labels[:30])
+        labels_b = set(result.labels[30:])
+        assert labels_a.isdisjoint(labels_b)
+        assert result.inertia < 5.0
+
+    def test_kmeans_validates_k(self):
+        data = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, k=0)
+        with pytest.raises(ValueError):
+            kmeans(data, k=6)
+
+    def test_choose_k_picks_reasonable_k(self):
+        rng = np.random.default_rng(2)
+        clusters = [rng.normal(c * 10, 0.1, size=(25, 3)) for c in range(3)]
+        result = choose_k(np.vstack(clusters), max_k=6, seed=0)
+        assert 2 <= result.k <= 4
+
+    def test_bic_prefers_better_fit(self):
+        rng = np.random.default_rng(3)
+        data = np.vstack([rng.normal(0, 0.1, (30, 2)), rng.normal(8, 0.1, (30, 2))])
+        one = kmeans(data, 1, seed=0)
+        two = kmeans(data, 2, seed=0)
+        assert bic_score(data, two) > bic_score(data, one)
+
+    @settings(max_examples=15, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=5), seed=st.integers(0, 100))
+    def test_kmeans_labels_within_range(self, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((24, 4))
+        result = kmeans(data, k=k, seed=seed)
+        assert result.labels.shape == (24,)
+        assert set(result.labels) <= set(range(k))
+        assert result.centroids.shape == (k, 4)
+
+
+class TestSimPointSelection:
+    @pytest.fixture(scope="class")
+    def selection(self) -> SimPointSelection:
+        program = build_program(workload("458.sjeng"), seed=2)
+        return select_simpoints(program, total_instructions=12000, interval_size=2000,
+                                max_simpoints=5, seed=2)
+
+    def test_weights_sum_to_one(self, selection):
+        assert abs(selection.total_weight() - 1.0) < 1e-9
+
+    def test_simpoints_have_traces(self, selection):
+        assert len(selection) >= 1
+        for sp in selection:
+            assert len(sp.trace) > 0
+            assert sp.name.startswith("458.sjeng/sp")
+
+    def test_weighted_average_requires_all_values(self, selection):
+        values = {sp.name: 1.0 for sp in selection}
+        assert weighted_average(values, selection) == pytest.approx(1.0)
+        values.popitem()
+        with pytest.raises(KeyError):
+            weighted_average(values, selection)
+
+    def test_too_short_trace_rejected(self):
+        program = build_program(workload("403.gcc"), seed=0)
+        with pytest.raises(ValueError):
+            select_simpoints(program, total_instructions=10, interval_size=100000)

@@ -1,0 +1,147 @@
+"""Tests for the synthetic-workload subsystem (ISA, programs, traces)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    NUM_ARCH_REGS,
+    Opcode,
+    SPEC2006_BENCHMARKS,
+    TraceGenerator,
+    all_workloads,
+    build_program,
+    opcode_class,
+    split_into_intervals,
+    workload,
+)
+from repro.workloads.isa import OPCODE_CLASS, is_branch, is_memory
+from repro.workloads.program import BlockSpec, PhaseSpec, WorkloadSpec
+
+
+class TestISA:
+    def test_every_opcode_has_a_class(self):
+        assert set(OPCODE_CLASS) == set(Opcode)
+
+    def test_opcode_class_lookup(self):
+        assert opcode_class(Opcode.FMUL).name == "FP_MULT"
+        assert opcode_class(Opcode.LOAD).name == "LOAD"
+
+    def test_memory_and_branch_predicates(self):
+        assert is_memory(Opcode.LOAD) and is_memory(Opcode.STORE)
+        assert not is_memory(Opcode.ADD)
+        assert is_branch(Opcode.BRANCH) and is_branch(Opcode.CALL)
+        assert not is_branch(Opcode.XOR)
+
+
+class TestSpecs:
+    def test_block_spec_validation(self):
+        with pytest.raises(ValueError):
+            BlockSpec(name="bad", length=0, mix={Opcode.ADD: 1})
+        with pytest.raises(ValueError):
+            BlockSpec(name="bad", length=4, mix={})
+        with pytest.raises(ValueError):
+            BlockSpec(name="bad", length=4, mix={Opcode.ADD: 1}, branch_taken_prob=2.0)
+
+    def test_phase_weights_normalised(self):
+        spec = workload("403.gcc")
+        weights = spec.phase_weights()
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(w > 0 for w in weights)
+
+    def test_workload_requires_unique_block_names(self):
+        block = BlockSpec(name="dup", length=4, mix={Opcode.ADD: 1})
+        phase = PhaseSpec(name="p", blocks=(block, block))
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", operand_type="Integer", phases=(phase,))
+
+    def test_all_ten_benchmarks_present(self):
+        assert len(SPEC2006_BENCHMARKS) == 10
+        assert len(all_workloads()) == 10
+        with pytest.raises(KeyError):
+            workload("999.unknown")
+
+
+class TestProgramBuild:
+    def test_build_is_deterministic(self):
+        a = build_program(workload("458.sjeng"), seed=5)
+        b = build_program(workload("458.sjeng"), seed=5)
+        for block_a, block_b in zip(a.all_blocks(), b.all_blocks()):
+            assert [i.opcode for i in block_a.instrs] == [i.opcode for i in block_b.instrs]
+            assert [i.srcs for i in block_a.instrs] == [i.srcs for i in block_b.instrs]
+
+    def test_block_ids_unique_and_registered(self, gcc_program):
+        ids = [b.block_id for b in gcc_program.all_blocks()]
+        assert len(ids) == len(set(ids))
+        assert gcc_program.num_blocks == len(ids)
+        for block_id in ids:
+            assert gcc_program.block(block_id).block_id == block_id
+
+    def test_registers_within_architectural_range(self, gcc_program):
+        for block in gcc_program.all_blocks():
+            for instr in block.instrs:
+                if instr.dest is not None:
+                    assert 0 <= instr.dest < NUM_ARCH_REGS
+                for src in instr.srcs:
+                    assert 0 <= src < NUM_ARCH_REGS
+
+
+class TestTraceGeneration:
+    def test_trace_length_close_to_requested(self, gcc_program):
+        trace = TraceGenerator(gcc_program, seed=3).generate(5000)
+        assert 5000 <= len(trace) <= 5000 * 1.3
+
+    def test_trace_deterministic(self, gcc_program):
+        t1 = TraceGenerator(gcc_program, seed=3).generate(2000)
+        t2 = TraceGenerator(gcc_program, seed=3).generate(2000)
+        assert len(t1) == len(t2)
+        assert all(a.opcode == b.opcode and a.address == b.address and a.taken == b.taken
+                   for a, b in zip(t1, t2))
+
+    def test_memory_ops_have_addresses_and_branches_have_outcomes(self, gcc_trace):
+        for uop in gcc_trace:
+            if uop.is_mem:
+                assert uop.address is not None and uop.address > 0
+            if uop.is_branch:
+                assert uop.taken is not None and uop.target is not None
+
+    def test_block_ids_valid(self, gcc_program, gcc_trace):
+        valid = set(gcc_program.blocks_by_id)
+        assert all(uop.block_id in valid for uop in gcc_trace)
+
+    def test_addresses_stay_in_block_working_set(self, gcc_program):
+        trace = TraceGenerator(gcc_program, seed=9).generate(3000)
+        for uop in trace:
+            if not uop.is_mem:
+                continue
+            block = gcc_program.block(uop.block_id)
+            offset = uop.address - block.data_base
+            assert 0 <= offset < max(block.spec.working_set, block.spec.stride) + 8
+
+    def test_rejects_nonpositive_budget(self, gcc_program):
+        with pytest.raises(ValueError):
+            TraceGenerator(gcc_program).generate(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(interval=st.integers(min_value=1, max_value=4000))
+    def test_split_into_intervals_preserves_prefix(self, gcc_trace, interval):
+        intervals = split_into_intervals(gcc_trace, interval)
+        flattened = [uop for chunk in intervals for uop in chunk]
+        assert flattened == gcc_trace[: len(flattened)]
+        assert all(len(chunk) <= interval for chunk in intervals)
+
+    def test_split_rejects_bad_interval(self, gcc_trace):
+        with pytest.raises(ValueError):
+            split_into_intervals(gcc_trace, 0)
+
+    def test_xor_heavy_phase_present_in_gcc(self, gcc_program):
+        fractions = {}
+        trace = TraceGenerator(gcc_program, seed=1).generate(8000)
+        for uop in trace:
+            fractions.setdefault(uop.block_id, [0, 0])
+            fractions[uop.block_id][1] += 1
+            if uop.opcode is Opcode.XOR:
+                fractions[uop.block_id][0] += 1
+        xor_rates = [hits / total for hits, total in fractions.values() if total > 100]
+        assert max(xor_rates) > 0.05  # the gcc_bitset phase is xor-heavy
