@@ -4,7 +4,10 @@ Each benchmark regenerates one table or figure of the paper at the ``smoke``
 scale (see ``repro.experiments.common``).  A single :class:`ExperimentContext`
 is shared across benchmarks so simulations are not repeated; set the
 ``REPRO_BENCH_SCALE`` environment variable to ``small`` or ``full`` for a
-higher-fidelity (and much longer) run.
+higher-fidelity (and much longer) run.  ``REPRO_JOBS`` shards the underlying
+simulations across worker processes, and ``REPRO_BENCH_STORE`` points the
+context at a persistent result store so repeated benchmark sessions skip
+simulation entirely (timings then measure the ML/analysis stages).
 """
 
 import os
@@ -21,7 +24,9 @@ def bench_scale() -> str:
 
 @pytest.fixture(scope="session")
 def context(bench_scale) -> ExperimentContext:
-    return ExperimentContext(bench_scale)
+    return ExperimentContext(
+        bench_scale, store_path=os.environ.get("REPRO_BENCH_STORE") or None
+    )
 
 
 def run_experiment(benchmark, module, bench_scale, context):

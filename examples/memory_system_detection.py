@@ -7,7 +7,12 @@ ChampSim-like memory-hierarchy simulator, using Average Memory Access Time
 miss-handling and SPP-prefetcher bugs.
 
 Run with:  python examples/memory_system_detection.py
+
+Set REPRO_JOBS=N to shard the hierarchy simulations across N worker
+processes, and REPRO_STORE=some/dir to reuse results across runs.
 """
+
+import os
 
 from repro.bugs import memory_bug_suite
 from repro.detect import (
@@ -17,6 +22,7 @@ from repro.detect import (
     TwoStageDetector,
     build_probes,
 )
+from repro.runtime import JobEngine, ResultStore
 from repro.uarch import memory_microarch, memory_set
 
 
@@ -31,6 +37,8 @@ def main() -> None:
     )
     print(f"  {len(probes)} probes extracted")
 
+    store_path = os.environ.get("REPRO_STORE")
+    engine = JobEngine(store=ResultStore(store_path) if store_path else None)
     setup = DetectionSetup(
         probes=probes,
         train_designs=memory_set("I"),
@@ -38,7 +46,9 @@ def main() -> None:
         stage2_designs=memory_set("II") + memory_set("III"),
         test_designs=memory_set("IV"),
         bug_suite=memory_bug_suite(max_variants_per_type=1),
-        cache=MemorySimulationCache(step_instructions=2_000, target_metric="amat"),
+        cache=MemorySimulationCache(
+            step_instructions=2_000, target_metric="amat", engine=engine
+        ),
         model_config=ProbeModelConfig(engine="GBT-150"),
         target_higher_is_better=False,  # AMAT: larger is worse
     )
@@ -59,6 +69,9 @@ def main() -> None:
     buggy = detector.error_vector(skylake_mem, spp_bug)
     print(f"Per-probe AMAT inference errors, bug-free  : {clean.round(2)}")
     print(f"Per-probe AMAT inference errors, {spp_bug.name}: {buggy.round(2)}")
+    stats = engine.stats
+    print(f"[runtime] jobs={engine.jobs} simulations={stats.jobs} "
+          f"executed={stats.executed} store_hits={stats.store_hits}")
 
 
 if __name__ == "__main__":

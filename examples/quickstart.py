@@ -9,10 +9,17 @@ This walks the full methodology end to end on a deliberately small setup:
 4. test the "new" Set-IV designs bug-free and with an injected bug.
 
 Run with:  python examples/quickstart.py
+
+Simulations are independent jobs: set REPRO_JOBS=4 (or any N) to shard them
+across worker processes, and REPRO_STORE=some/dir to persist results so a
+second run skips every simulation.
 """
+
+import os
 
 from repro.bugs import core_bug_suite, figure1_bug2
 from repro.detect import DetectionSetup, ProbeModelConfig, SimulationCache, TwoStageDetector, build_probes
+from repro.runtime import JobEngine, ResultStore
 from repro.uarch import core_microarch, core_set
 
 
@@ -32,6 +39,8 @@ def main() -> None:
         for bug_type, variants in core_bug_suite(max_variants_per_type=1).items()
         if bug_type in ("Serialized", "MispredictDelay", "RegisterReduction")
     }
+    store_path = os.environ.get("REPRO_STORE")
+    engine = JobEngine(store=ResultStore(store_path) if store_path else None)
     setup = DetectionSetup(
         probes=probes,
         train_designs=core_set("I"),
@@ -39,7 +48,7 @@ def main() -> None:
         stage2_designs=core_set("II") + core_set("III"),
         test_designs=core_set("IV"),
         bug_suite=suite,
-        cache=SimulationCache(step_cycles=512),
+        cache=SimulationCache(step_cycles=512, engine=engine),
         model_config=ProbeModelConfig(engine="GBT-150"),
     )
 
@@ -64,6 +73,9 @@ def main() -> None:
     print(f"(fold '{classifier_fold.bug_type}' detected "
           f"{classifier_fold.metrics.true_positives}/{classifier_fold.metrics.positives} "
           f"buggy cases with {classifier_fold.metrics.false_positives} false positives)")
+    stats = engine.stats
+    print(f"[runtime] jobs={engine.jobs} simulations={stats.jobs} "
+          f"executed={stats.executed} store_hits={stats.store_hits}")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,27 @@
-"""Setuptools shim.
+"""Package metadata and installation entry points.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works in fully offline environments where
-the ``wheel`` package (required by PEP 517 editable builds on older
-setuptools) is unavailable.
+``pip install -e .`` makes the ``repro`` package importable without
+``PYTHONPATH`` tricks and installs the ``repro-experiments`` console script
+(the ``python -m repro.experiments.runner`` CLI: ``--scale``, ``--only``,
+``--jobs``, ``--store``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hpca21-bug-detection",
+    version="0.2.0",
+    description=(
+        "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
+        "performance bugs in microprocessor designs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+        ],
+    },
+)

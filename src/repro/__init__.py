@@ -10,6 +10,7 @@ The package is organised as:
 * :mod:`repro.bugs` — the 14 core and 6 memory performance-bug types,
 * :mod:`repro.ml` — from-scratch NumPy regression engines (Lasso/MLP/CNN/LSTM/GBT),
 * :mod:`repro.detect` — the paper's two-stage detection methodology and baseline,
+* :mod:`repro.runtime` — parallel simulation job engine + persistent result store,
 * :mod:`repro.experiments` — regeneration of every table and figure.
 
 Quickstart::

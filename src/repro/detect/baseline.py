@@ -11,6 +11,7 @@ targets (the paper's best-performing single-stage engine is GBT-250).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -18,7 +19,13 @@ import numpy as np
 
 from ..ml.gbt import GradientBoostedTrees
 from .counter_selection import select_counters
-from .detector import DetectionSetup, EvaluationResult, FoldResult, _tpr_by_severity
+from .detector import (
+    DetectionSetup,
+    EvaluationResult,
+    FoldResult,
+    _tpr_by_severity,
+    evaluation_design_bug_pairs,
+)
 from .metrics import compute_metrics
 from .probe import Probe
 
@@ -87,8 +94,11 @@ class SingleStageBaseline:
         for probe in self.setup.probes:
             self._ensure_counters(probe)
             X, y = self._training_samples(probe, excluded_bug_type)
+            # zlib.crc32, not hash(): str hashing is salted per interpreter
+            # run, which made baseline results differ between invocations.
             model = GradientBoostedTrees(
-                n_estimators=self.n_estimators, max_depth=3, seed=hash(probe.name) % (2**31)
+                n_estimators=self.n_estimators, max_depth=3,
+                seed=zlib.crc32(probe.name.encode("utf-8")) % (2**31),
             )
             model.fit(X, y)
             self._classifiers[probe.name] = model
@@ -156,9 +166,25 @@ class SingleStageBaseline:
             metrics=compute_metrics(labels, predictions, scores),
         )
 
+    def _warm(self, types: list[str]) -> None:
+        """Batch-simulate the full working set of :meth:`evaluate` up front."""
+        warm = getattr(self.setup.cache, "warm", None)
+        if warm is None:
+            return
+        setup = self.setup
+        # Counter selection reads bug-free train/val series, then the folds
+        # read the same evaluation set as the two-stage detector.
+        pairs: list[tuple] = [
+            (d, setup.presumed_bugfree_bug)
+            for d in setup.train_designs + setup.val_designs
+        ]
+        pairs.extend(evaluation_design_bug_pairs(setup, types))
+        warm((probe, design, bug) for design, bug in pairs for probe in setup.probes)
+
     def evaluate(self, bug_types: Optional[Iterable[str]] = None) -> EvaluationResult:
         """Leave-one-bug-type-out evaluation mirroring the two-stage detector."""
         types = list(bug_types) if bug_types is not None else list(self.setup.bug_suite)
+        self._warm(types)
         folds = {bug_type: self.evaluate_fold(bug_type) for bug_type in types}
 
         all_labels: list[bool] = []

@@ -5,22 +5,33 @@ far the most expensive operation in the methodology, and the same (probe,
 design, bug) observation is reused by several experiments — stage-1 training,
 stage-2 training, every leave-one-bug-type-out fold, and the ablations.  The
 :class:`SimulationCache` memoises those runs.
+
+Both caches route their misses through a :class:`~repro.runtime.JobEngine`
+as batches of :class:`~repro.runtime.SimulationJob` specs rather than looping
+the simulators inline: callers that know their working set up front (the
+detector, the experiments) call :meth:`SimulationCache.warm` with every
+(probe, design, bug) triple they will need, and the engine shards the misses
+across worker processes and/or serves them from its persistent result store.
+Single :meth:`get` calls degrade to one-job batches, so the serial behaviour
+is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..coresim.counters import CounterTimeSeries
 from ..coresim.hooks import CoreBugModel
-from ..coresim.simulator import simulate_trace
-from ..memsim.hooks import MemoryBugModel
-from ..memsim.simulator import simulate_memory_trace
-from ..uarch.config import MemoryHierarchyConfig, MicroarchConfig
+from ..runtime import CORE_STUDY, MEMORY_STUDY, JobEngine, SimulationJob, TraceRegistry
+from ..uarch.config import MicroarchConfig
 from .probe import Probe
 
 #: Bug key used for bug-free observations.
 BUG_FREE_KEY = "bug-free"
+
+def _bug_key(bug) -> str:
+    return bug.name if bug is not None else BUG_FREE_KEY
 
 
 @dataclass
@@ -38,13 +49,62 @@ class Observation:
 class SimulationCache:
     """Memoised core-simulator runs keyed by (probe, design, bug)."""
 
-    def __init__(self, step_cycles: int = 2048) -> None:
+    study = CORE_STUDY
+
+    def __init__(self, step_cycles: int = 2048, engine: JobEngine | None = None) -> None:
         self.step_cycles = step_cycles
+        self.engine = engine if engine is not None else JobEngine(jobs=1)
         self._cache: dict[tuple[str, str, str], Observation] = {}
+        self._registry = TraceRegistry()
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def _job(self, probe: Probe, config, bug) -> SimulationJob:
+        return SimulationJob(
+            study=self.study,
+            config=config,
+            bug=bug,
+            trace_id=self._registry.register(probe.trace),
+            step=self.step_cycles,
+        )
+
+    def _observe(self, probe: Probe, config, bug, stored) -> Observation:
+        result = stored.to_core()
+        return Observation(
+            probe_name=probe.name,
+            config_name=config.name,
+            bug_name=_bug_key(bug),
+            series=result.series,
+            ipc=result.ipc,
+            target_metric=result.ipc,
+        )
+
+    def warm(self, requests: Iterable[Sequence]) -> int:
+        """Simulate every not-yet-cached request as one engine batch.
+
+        *requests* yields ``(probe, config, bug-or-None)`` triples.  Returns
+        the number of jobs dispatched (in-memory cache misses); engine-level
+        store hits still count as dispatched jobs here.
+        """
+        jobs: list[SimulationJob] = []
+        meta: list[tuple[tuple[str, str, str], Probe, object, object]] = []
+        seen: set[tuple[str, str, str]] = set()
+        for probe, config, bug in requests:
+            key = (probe.name, config.name, _bug_key(bug))
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            jobs.append(self._job(probe, config, bug))
+            meta.append((key, probe, config, bug))
+        if not jobs:
+            return 0
+        self.misses += len(jobs)
+        stored_results = self.engine.run(jobs, self._registry.traces)
+        for (key, probe, config, bug), stored in zip(meta, stored_results):
+            self._cache[key] = self._observe(probe, config, bug, stored)
+        return len(jobs)
 
     def get(
         self,
@@ -53,56 +113,33 @@ class SimulationCache:
         bug: CoreBugModel | None = None,
     ) -> Observation:
         """Return the observation, simulating on first use."""
-        bug_name = bug.name if bug is not None else BUG_FREE_KEY
-        key = (probe.name, config.name, bug_name)
+        key = (probe.name, config.name, _bug_key(bug))
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        self.misses += 1
-        result = simulate_trace(
-            config, probe.trace, bug=bug, step_cycles=self.step_cycles
-        )
-        observation = Observation(
-            probe_name=probe.name,
-            config_name=config.name,
-            bug_name=bug_name,
-            series=result.series,
-            ipc=result.ipc,
-            target_metric=result.ipc,
-        )
-        self._cache[key] = observation
-        return observation
+        self.warm([(probe, config, bug)])
+        return self._cache[key]
 
 
-class MemorySimulationCache:
+class MemorySimulationCache(SimulationCache):
     """Memoised memory-hierarchy runs keyed by (probe, design, bug)."""
 
-    def __init__(self, step_instructions: int = 2000, target_metric: str = "amat") -> None:
+    study = MEMORY_STUDY
+
+    def __init__(
+        self,
+        step_instructions: int = 2000,
+        target_metric: str = "amat",
+        engine: JobEngine | None = None,
+    ) -> None:
         if target_metric not in ("amat", "ipc"):
             raise ValueError("target_metric must be 'amat' or 'ipc'")
+        super().__init__(step_cycles=step_instructions, engine=engine)
         self.step_instructions = step_instructions
         self.target_metric = target_metric
-        self._cache: dict[tuple[str, str, str], Observation] = {}
-        self.misses = 0
 
-    def __len__(self) -> int:
-        return len(self._cache)
-
-    def get(
-        self,
-        probe: Probe,
-        config: MemoryHierarchyConfig,
-        bug: MemoryBugModel | None = None,
-    ) -> Observation:
-        bug_name = bug.name if bug is not None else BUG_FREE_KEY
-        key = (probe.name, config.name, bug_name)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        self.misses += 1
-        result = simulate_memory_trace(
-            config, probe.trace, bug=bug, step_instructions=self.step_instructions
-        )
+    def _observe(self, probe: Probe, config, bug, stored) -> Observation:
+        result = stored.to_memory()
         series = result.series
         if self.target_metric == "amat":
             # Swap the target series so the generic stage-1 machinery (which
@@ -112,13 +149,11 @@ class MemorySimulationCache:
                 counters=dict(series.counters),
                 ipc=series.counters["mem.amat"].copy(),
             )
-        observation = Observation(
+        return Observation(
             probe_name=probe.name,
             config_name=config.name,
-            bug_name=bug_name,
+            bug_name=_bug_key(bug),
             series=series,
             ipc=result.ipc,
             target_metric=result.amat if self.target_metric == "amat" else result.ipc,
         )
-        self._cache[key] = observation
-        return observation

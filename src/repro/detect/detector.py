@@ -113,12 +113,29 @@ class TwoStageDetector:
     def _observe(self, probe: Probe, design, bug=None):
         return self.setup.cache.get(probe, design, bug)
 
+    def _warm(self, designs_and_bugs: Iterable[tuple]) -> None:
+        """Batch-simulate (design, bug) pairs for every probe via the cache.
+
+        Caches that expose ``warm`` (both bundled caches do) receive the
+        whole working set as one batch, letting the job engine shard it
+        across workers; other cache objects fall back to lazy ``get`` calls.
+        """
+        warm = getattr(self.setup.cache, "warm", None)
+        if warm is None:
+            return
+        warm(
+            (probe, design, bug)
+            for design, bug in designs_and_bugs
+            for probe in self.setup.probes
+        )
+
     # -- preparation -----------------------------------------------------------------
 
     def prepare(self) -> None:
         """Collect bug-free training data, select counters, fit stage-1 models."""
         setup = self.setup
         presumed = self._bugfree_bug()
+        self._warm((d, presumed) for d in setup.train_designs + setup.val_designs)
         for probe in setup.probes:
             train_series = {
                 d.name: self._observe(probe, d, presumed).series for d in setup.train_designs
@@ -197,6 +214,16 @@ class TwoStageDetector:
                     positives.append(self.error_vector(design, bug))
         return positives, negatives
 
+    def _warm_for_evaluation(self, types: list[str]) -> None:
+        """Pre-simulate exactly the observations :meth:`evaluate` will read.
+
+        One big batch covers stage-2 training (Sets II + III, presumed
+        bug-free plus every non-excluded bug variant), the Set-IV test rows
+        and the severity measurement — the same set the lazy path would
+        simulate one at a time, so cache miss counts are unchanged.
+        """
+        self._warm(evaluation_design_bug_pairs(self.setup, types))
+
     def evaluate_fold(self, bug_type: str) -> FoldResult:
         """Train stage 2 without *bug_type* and test on Set IV with it."""
         if bug_type not in self.setup.bug_suite:
@@ -236,6 +263,7 @@ class TwoStageDetector:
         if not self._prepared:
             self.prepare()
         types = list(bug_types) if bug_types is not None else list(self.setup.bug_suite)
+        self._warm_for_evaluation(types)
         folds = {bug_type: self.evaluate_fold(bug_type) for bug_type in types}
 
         all_labels: list[bool] = []
@@ -259,6 +287,33 @@ class TwoStageDetector:
             tpr_by_severity=tpr_by_severity,
             severity_of_bug=severity_of_bug,
         )
+
+
+def evaluation_design_bug_pairs(
+    setup: DetectionSetup, types: list[str]
+) -> list[tuple]:
+    """(design, bug) pairs a leave-one-bug-type-out evaluation reads.
+
+    Shared by the two-stage detector and the single-stage baseline so their
+    batch pre-warming stays in lockstep with the fold protocol: stage-2
+    training designs with the presumed-bug-free bug plus every bug variant
+    of each non-excluded type, then Set-IV test designs bug-free and with
+    the evaluated types' variants (which also covers severity measurement).
+    """
+    presumed = setup.presumed_bugfree_bug
+    pairs: list[tuple] = []
+    # Stage-2 training: a bug type is needed whenever some evaluated fold
+    # does not exclude it.
+    stage2_types = [bt for bt in setup.bug_suite if any(t != bt for t in types)]
+    for design in setup.stage2_designs:
+        pairs.append((design, presumed))
+        for bug_type in stage2_types:
+            pairs.extend((design, bug) for bug in setup.bug_suite[bug_type])
+    for design in setup.test_designs:
+        pairs.append((design, None))
+        for bug_type in types:
+            pairs.extend((design, bug) for bug in setup.bug_suite[bug_type])
+    return pairs
 
 
 def _tpr_by_severity(

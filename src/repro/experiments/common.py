@@ -13,12 +13,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from ..bugs.memory_bugs import memory_bug_suite
 from ..bugs.registry import core_bug_suite
 from ..detect.dataset import MemorySimulationCache, SimulationCache
 from ..detect.detector import DetectionSetup
 from ..detect.probe import Probe, build_probes
 from ..detect.stage1 import ProbeModelConfig
+from ..runtime import JobEngine, ResultStore, default_jobs
 from ..uarch.memory_presets import memory_set
 from ..uarch.presets import core_set
 
@@ -185,15 +188,42 @@ def _format_cell(value: object) -> str:
 
 
 class ExperimentContext:
-    """Shared probes, caches and design sets for one scale."""
+    """Shared probes, caches, design sets and simulation runtime for one scale.
 
-    def __init__(self, scale: str | ExperimentScale = "smoke") -> None:
+    Parameters
+    ----------
+    scale:
+        Scale name or explicit :class:`ExperimentScale`.
+    jobs:
+        Simulation worker processes; ``None`` reads the ``REPRO_JOBS``
+        environment variable (default 1 = serial).
+    store_path:
+        Optional directory for a persistent :class:`~repro.runtime.ResultStore`;
+        repeated runs against the same store never re-simulate.
+    progress:
+        Optional ``callback(done, total)`` forwarded to the job engine.
+    """
+
+    def __init__(
+        self,
+        scale: str | ExperimentScale = "smoke",
+        jobs: int | None = None,
+        store_path: str | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> None:
         self.scale = get_scale(scale)
         self._probes: list[Probe] | None = None
         self._memory_probes: list[Probe] | None = None
-        self.cache = SimulationCache(step_cycles=self.scale.step_cycles)
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.store = ResultStore(store_path) if store_path else None
+        self.engine = JobEngine(jobs=self.jobs, store=self.store, progress=progress)
+        self.cache = SimulationCache(
+            step_cycles=self.scale.step_cycles, engine=self.engine
+        )
         self.memory_cache = MemorySimulationCache(
-            step_instructions=self.scale.memory_step_instructions, target_metric="amat"
+            step_instructions=self.scale.memory_step_instructions,
+            target_metric="amat",
+            engine=self.engine,
         )
 
     # -- probes ----------------------------------------------------------------
@@ -308,6 +338,7 @@ class ExperimentContext:
             cache = MemorySimulationCache(
                 step_instructions=self.scale.memory_step_instructions,
                 target_metric="ipc",
+                engine=self.engine,
             )
         return DetectionSetup(
             probes=[Probe(simpoint=p.simpoint) for p in self.memory_probes],

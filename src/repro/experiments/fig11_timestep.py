@@ -32,11 +32,16 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
         cache = (
             context.cache
             if step_cycles == context.scale.step_cycles
-            else SimulationCache(step_cycles=step_cycles)
+            else SimulationCache(step_cycles=step_cycles, engine=context.engine)
         )
         setup = context.detection_setup(cache=cache)
         detector = TwoStageDetector(setup)
         detector.prepare()
+        cache.warm(
+            (probe, design, None)
+            for design in setup.test_designs
+            for probe in setup.probes
+        )
 
         mses = []
         for design in setup.test_designs:

@@ -31,6 +31,12 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
         ("Skylake (Bug 2)", skylake, figure1_bug2()),
     ]
 
+    context.cache.warm(
+        (probe, design, bug)
+        for _, design, bug in configurations
+        for probe in context.probes
+    )
+
     benchmarks = sorted({p.benchmark for p in context.probes})
     rows: list[dict[str, object]] = []
     per_config_speedups: dict[str, list[float]] = {name: [] for name, _, _ in configurations}

@@ -27,6 +27,9 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
     if not probes:
         raise RuntimeError("the scale's benchmark list must include 403.gcc")
 
+    context.cache.warm(
+        (probe, skylake, b) for probe in probes for b in (None, bug)
+    )
     rows: list[dict[str, object]] = []
     clean_weighted = 0.0
     buggy_weighted = 0.0

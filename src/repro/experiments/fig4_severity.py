@@ -23,6 +23,14 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
     probes = context.probes
     suite = context.core_bugs()
 
+    all_bugs = [bug for variants in suite.values() for bug in variants]
+    context.cache.warm(
+        (probe, design, bug)
+        for design in designs
+        for probe in probes
+        for bug in [None, *all_bugs]
+    )
+
     severities: list[Severity] = []
     per_bug_rows: list[dict[str, object]] = []
     for bug_type, variants in suite.items():

@@ -33,6 +33,7 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
         detector.prepare()
         detectors[engine] = detector
 
+    context.cache.warm((probe, skylake, None) for probe in probes)
     rows: list[dict[str, object]] = []
     series_dump: list[str] = []
     for probe_index, probe in enumerate(probes):

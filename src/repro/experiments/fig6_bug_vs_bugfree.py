@@ -29,6 +29,11 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
     detector.prepare()
 
     bugs = [figure1_bug2(), figure1_bug1()]
+    setup.cache.warm(
+        (probe, skylake, bug)
+        for probe in setup.probes[:MAX_PROBES]
+        for bug in [None, *bugs]
+    )
     rows: list[dict[str, object]] = []
     for probe in setup.probes[:MAX_PROBES]:
         model = detector.models[probe.name]

@@ -4,6 +4,13 @@ Usage::
 
     python -m repro.experiments.runner --scale smoke
     python -m repro.experiments.runner --scale small --only tab5 tab7
+    python -m repro.experiments.runner --scale small --jobs 8 --store .repro-store
+
+``--jobs N`` shards the underlying simulations across N worker processes;
+``--store PATH`` persists every simulated counter series keyed by content
+hash, so a repeat invocation (same scale/experiments) performs zero new
+simulations.  The installed ``repro-experiments`` console script is an alias
+for this module.
 """
 
 from __future__ import annotations
@@ -55,13 +62,20 @@ def run_all(
     scale: str = "smoke",
     only: list[str] | None = None,
     context: ExperimentContext | None = None,
+    jobs: int | None = None,
+    store: str | None = None,
 ) -> list[ExperimentResult]:
-    """Run the selected experiments, sharing one context, and return results."""
+    """Run the selected experiments, sharing one context, and return results.
+
+    *jobs* and *store* configure the simulation runtime of the implicitly
+    created context (see :class:`ExperimentContext`); they are ignored when
+    an explicit *context* is passed.
+    """
     chosen = list(EXPERIMENTS) if not only else [e for e in EXPERIMENTS if e in set(only)]
     unknown = set(only or []) - set(EXPERIMENTS)
     if unknown:
         raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
-    context = context or ExperimentContext(get_scale(scale))
+    context = context or ExperimentContext(get_scale(scale), jobs=jobs, store_path=store)
     results = []
     for experiment_id in chosen:
         results.append(EXPERIMENTS[experiment_id](scale=scale, context=context))
@@ -75,12 +89,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment ids to run (default: all)")
     parser.add_argument("--output", default=None,
                         help="optional path to write the combined report")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="simulation worker processes "
+                             "(default: $REPRO_JOBS or 1 = serial)")
+    parser.add_argument("--store", default=None,
+                        help="directory of a persistent simulation result store; "
+                             "repeat runs against it never re-simulate")
     args = parser.parse_args(argv)
 
     start = time.time()
-    results = run_all(scale=args.scale, only=args.only)
+    context = ExperimentContext(
+        get_scale(args.scale), jobs=args.jobs, store_path=args.store
+    )
+    results = run_all(scale=args.scale, only=args.only, context=context)
     report = "\n\n".join(result.to_text() for result in results)
     report += f"\n\nTotal runtime: {time.time() - start:.1f}s at scale '{args.scale}'\n"
+    stats = context.engine.stats
+    report += (
+        f"[runtime] jobs={context.engine.jobs} simulations={stats.jobs} "
+        f"executed={stats.executed} store_hits={stats.store_hits} "
+        f"batches={stats.batches}\n"
+    )
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -1,0 +1,56 @@
+"""Parallel simulation job engine with a persistent result store.
+
+Every experiment in the reproduction reduces to thousands of independent
+(microarchitecture x bug x probe) simulation jobs.  This package provides
+the runtime that makes broad sweeps tractable:
+
+* :class:`SimulationJob` — a pure-data, picklable job spec, with
+  content-hash identity (:meth:`SimulationJob.key`),
+* :class:`JobEngine` — shards job batches across worker processes (or runs
+  them inline for ``jobs=1`` / ``REPRO_JOBS``), with chunked dispatch,
+  deterministic per-job seeds, progress callbacks and uniform worker-failure
+  propagation (:class:`JobFailedError`),
+* :class:`ResultStore` — persists counter series to disk keyed by the
+  content hash of (config, bug, trace, step), so repeated experiment runs
+  and CI never re-simulate.
+
+The simulation caches in :mod:`repro.detect.dataset` batch their misses
+through this engine, and ``repro.experiments.runner --jobs N --store PATH``
+threads it under all figure/table experiments.
+"""
+
+from .engine import (
+    JOBS_ENV_VAR,
+    EngineStats,
+    JobEngine,
+    JobFailedError,
+    default_jobs,
+)
+from .job import (
+    CORE_STUDY,
+    MEMORY_STUDY,
+    SimulationJob,
+    TraceRegistry,
+    bug_fingerprint,
+    config_fingerprint,
+    trace_digest,
+)
+from .store import ResultStore, StoredResult, StoreStats
+
+__all__ = [
+    "CORE_STUDY",
+    "MEMORY_STUDY",
+    "JOBS_ENV_VAR",
+    "EngineStats",
+    "JobEngine",
+    "JobFailedError",
+    "ResultStore",
+    "SimulationJob",
+    "StoreStats",
+    "StoredResult",
+    "TraceRegistry",
+    "bug_fingerprint",
+    "config_fingerprint",
+    "default_jobs",
+    "trace_digest",
+]

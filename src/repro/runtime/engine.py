@@ -1,0 +1,288 @@
+"""Parallel simulation job engine.
+
+:class:`JobEngine` executes batches of :class:`~repro.runtime.job.SimulationJob`
+specs, sharding them across a :class:`concurrent.futures.ProcessPoolExecutor`
+in deterministic chunks.  Each batch first consults the optional persistent
+:class:`~repro.runtime.store.ResultStore`, so only genuinely new
+(config, bug, trace, step) combinations are ever simulated; computed results
+are written back for future runs.
+
+With ``jobs=1`` (the default, also selectable via the ``REPRO_JOBS``
+environment variable) everything runs inline in the calling process — the
+serial fallback used by tests, CI smoke runs and one-core machines.  Serial
+and parallel execution produce bit-identical results: the simulators are
+deterministic functions of (config, bug, trace, step), and each job is
+additionally handed a deterministic content-derived seed so that future
+stochastic simulator features cannot silently diverge across workers.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..coresim.simulator import simulate_trace
+from ..memsim.simulator import simulate_memory_trace
+from ..workloads.isa import MicroOp
+from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob
+from .store import ResultStore, StoredResult
+
+#: Environment variable naming the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Hard ceiling on the per-chunk job count (bounds pickling latency and
+#: keeps progress callbacks responsive on long batches).
+MAX_CHUNK_SIZE = 32
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``, defaulting to serial execution."""
+    value = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not value:
+        return 1
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {value!r}") from None
+    return max(1, jobs)
+
+
+class JobFailedError(RuntimeError):
+    """A job raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, description: str, remote_traceback: str) -> None:
+        super().__init__(
+            f"simulation job {description} failed in worker:\n{remote_traceback}"
+        )
+        self.description = description
+        self.remote_traceback = remote_traceback
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what one :class:`JobEngine` actually did."""
+
+    batches: int = 0
+    jobs: int = 0
+    store_hits: int = 0
+    executed: int = 0
+
+    def reset(self) -> None:
+        self.batches = self.jobs = self.store_hits = self.executed = 0
+
+
+# -- worker-side machinery ---------------------------------------------------
+#
+# The trace table is installed once per worker process via the executor's
+# initializer, so jobs reference traces by content digest instead of
+# re-pickling multi-thousand-instruction traces for every job.
+
+_WORKER_TRACES: Mapping[str, list[MicroOp]] = {}
+
+
+def _init_worker(traces: Mapping[str, list[MicroOp]]) -> None:
+    global _WORKER_TRACES
+    _WORKER_TRACES = traces
+
+
+def _execute_job(job: SimulationJob, trace: list[MicroOp]) -> StoredResult:
+    """Run one job to completion on *trace* (in-process or in a worker)."""
+    # The simulators are deterministic, but seed the global RNGs from the
+    # job identity anyway so any future stochastic component stays
+    # reproducible and identical across serial/parallel execution.
+    seed = job.seed()
+    python_state = random.getstate()
+    numpy_state = np.random.get_state()
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+    try:
+        if job.study == CORE_STUDY:
+            return StoredResult.from_core(
+                simulate_trace(job.config, trace, bug=job.bug, step_cycles=job.step)
+            )
+        if job.study == MEMORY_STUDY:
+            return StoredResult.from_memory(
+                simulate_memory_trace(
+                    job.config, trace, bug=job.bug, step_instructions=job.step
+                )
+            )
+        raise ValueError(f"unknown study kind {job.study!r}")
+    finally:
+        # Leave the caller's RNG streams untouched (matters for the serial
+        # in-process path, where experiments draw from these RNGs too).
+        random.setstate(python_state)
+        np.random.set_state(numpy_state)
+
+
+@dataclass
+class _ChunkFailure:
+    """Picklable stand-in for an exception raised inside a worker."""
+
+    description: str
+    remote_traceback: str
+
+
+def _run_chunk(
+    chunk: list[tuple[int, SimulationJob]],
+) -> list[tuple[int, StoredResult]] | _ChunkFailure:
+    results: list[tuple[int, StoredResult]] = []
+    for index, job in chunk:
+        try:
+            results.append((index, _execute_job(job, _WORKER_TRACES[job.trace_id])))
+        except Exception:
+            # Exceptions from user bug models may not survive pickling;
+            # ship the traceback as text instead.
+            return _ChunkFailure(job.describe(), traceback.format_exc())
+    return results
+
+
+def _chunked(items: Sequence, chunk_size: int) -> list[list]:
+    """Split *items* into ordered chunks of at most *chunk_size* elements."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [list(items[i:i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+class JobEngine:
+    """Executes simulation job batches, in parallel when asked to.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` reads ``REPRO_JOBS`` (default 1).
+        With 1 worker everything runs inline — no pool, no pickling.
+    store:
+        Optional persistent :class:`ResultStore` consulted before and
+        updated after every batch.
+    chunk_size:
+        Jobs per worker task; ``None`` sizes chunks to roughly four tasks
+        per worker, capped at :data:`MAX_CHUNK_SIZE`.
+    progress:
+        Optional ``callback(done, total)`` invoked as batch jobs finish
+        (store hits report immediately).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        store: ResultStore | None = None,
+        chunk_size: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.store = store
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # -- internals -------------------------------------------------------------
+
+    def _pick_chunk_size(self, pending: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        spread = max(1, pending // (self.jobs * 4))
+        return min(spread, MAX_CHUNK_SIZE)
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    # -- API -------------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[SimulationJob],
+        traces: Mapping[str, list[MicroOp]],
+    ) -> list[StoredResult]:
+        """Execute *jobs*, returning results in input order.
+
+        *traces* maps each job's ``trace_id`` to the actual instruction
+        trace; only the traces the batch references are shipped to workers.
+        Duplicate job contents within one batch are simulated once.
+        """
+        self.stats.batches += 1
+        self.stats.jobs += len(jobs)
+        total = len(jobs)
+        results: list[StoredResult | None] = [None] * total
+
+        # Resolve store hits and batch-internal duplicates first.
+        pending: list[tuple[int, SimulationJob]] = []
+        first_index_of_key: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        for index, job in enumerate(jobs):
+            if job.trace_id not in traces:
+                raise KeyError(
+                    f"job {job.describe()} references unknown trace {job.trace_id!r}"
+                )
+            key = job.key()
+            if key in first_index_of_key:
+                duplicates.append((index, first_index_of_key[key]))
+                continue
+            first_index_of_key[key] = index
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    results[index] = stored
+                    self.stats.store_hits += 1
+                    continue
+            pending.append((index, job))
+        self._report(total - len(pending) - len(duplicates), total)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                done = total - len(pending) - len(duplicates)
+                for index, job in pending:
+                    try:
+                        results[index] = _execute_job(job, traces[job.trace_id])
+                    except Exception as exc:
+                        raise JobFailedError(
+                            job.describe(), traceback.format_exc()
+                        ) from exc
+                    done += 1
+                    self._report(done, total)
+            else:
+                self._run_parallel(pending, traces, results, total, len(duplicates))
+            self.stats.executed += len(pending)
+            if self.store is not None:
+                for index, job in pending:
+                    self.store.put(job.key(), results[index])
+
+        for index, source in duplicates:
+            results[index] = results[source]
+        if duplicates:
+            self._report(total, total)
+        return results  # type: ignore[return-value]
+
+    def _run_parallel(
+        self,
+        pending: list[tuple[int, SimulationJob]],
+        traces: Mapping[str, list[MicroOp]],
+        results: list[StoredResult | None],
+        total: int,
+        num_duplicates: int,
+    ) -> None:
+        needed_ids = {job.trace_id for _, job in pending}
+        batch_traces = {tid: traces[tid] for tid in needed_ids}
+        chunks = _chunked(pending, self._pick_chunk_size(len(pending)))
+        workers = min(self.jobs, len(chunks))
+        done = total - len(pending) - num_duplicates
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(batch_traces,),
+        ) as pool:
+            for outcome in pool.map(_run_chunk, chunks):
+                if isinstance(outcome, _ChunkFailure):
+                    raise JobFailedError(outcome.description, outcome.remote_traceback)
+                for index, stored in outcome:
+                    results[index] = stored
+                    done += 1
+                self._report(done, total)

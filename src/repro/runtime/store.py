@@ -1,0 +1,237 @@
+"""Persistent, content-addressed store of simulation results.
+
+The :class:`ResultStore` maps a :meth:`SimulationJob.key` content hash to a
+:class:`StoredResult` — the study-agnostic flattening of a core
+:class:`~repro.coresim.simulator.SimulationResult` or memory
+:class:`~repro.memsim.simulator.MemSimResult`.  Entries are one ``.npz``
+file per key, written atomically (temp file + ``os.replace``) so a killed
+run never leaves a half-written entry that later readers trust.
+
+Corrupt or truncated entries are treated as misses: the bad file is removed
+and the job is recomputed, never crashing an experiment run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..coresim.counters import CounterTimeSeries
+from ..coresim.simulator import SimulationResult
+from ..memsim.simulator import MemSimResult
+from .job import CORE_STUDY, MEMORY_STUDY
+
+#: Prefix namespacing counter arrays inside the ``.npz`` payload.
+_COUNTER_PREFIX = "counter::"
+
+
+@dataclass
+class StoredResult:
+    """Study-agnostic flattening of one simulation outcome."""
+
+    study: str
+    config_name: str
+    bug_name: str
+    instructions: int
+    cycles: float
+    amat: float
+    step: int
+    counters: dict[str, np.ndarray]
+    ipc: np.ndarray
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_core(cls, result: SimulationResult) -> "StoredResult":
+        return cls(
+            study=CORE_STUDY,
+            config_name=result.config_name,
+            bug_name=result.bug_name,
+            instructions=result.instructions,
+            cycles=float(result.cycles),
+            amat=0.0,
+            step=result.series.step_cycles,
+            counters=dict(result.series.counters),
+            ipc=result.series.ipc,
+        )
+
+    @classmethod
+    def from_memory(cls, result: MemSimResult) -> "StoredResult":
+        return cls(
+            study=MEMORY_STUDY,
+            config_name=result.config_name,
+            bug_name=result.bug_name,
+            instructions=result.instructions,
+            cycles=result.cycles,
+            amat=result.amat,
+            step=result.series.step_cycles,
+            counters=dict(result.series.counters),
+            ipc=result.series.ipc,
+        )
+
+    def _series(self) -> CounterTimeSeries:
+        return CounterTimeSeries(
+            step_cycles=self.step,
+            counters={name: np.asarray(arr) for name, arr in self.counters.items()},
+            ipc=np.asarray(self.ipc),
+        )
+
+    def to_core(self) -> SimulationResult:
+        if self.study != CORE_STUDY:
+            raise ValueError(f"not a core-study result: {self.study!r}")
+        return SimulationResult(
+            config_name=self.config_name,
+            bug_name=self.bug_name,
+            instructions=self.instructions,
+            cycles=int(self.cycles),
+            series=self._series(),
+        )
+
+    def to_memory(self) -> MemSimResult:
+        if self.study != MEMORY_STUDY:
+            raise ValueError(f"not a memory-study result: {self.study!r}")
+        return MemSimResult(
+            config_name=self.config_name,
+            bug_name=self.bug_name,
+            instructions=self.instructions,
+            cycles=self.cycles,
+            series=self._series(),
+            amat=self.amat,
+        )
+
+
+@dataclass
+class StoreStats:
+    """Observable effectiveness counters of one :class:`ResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+
+
+class ResultStore:
+    """Disk-backed ``{job key: StoredResult}`` map with corruption recovery.
+
+    Parameters
+    ----------
+    path:
+        Directory holding one ``<key>.npz`` file per result; created on
+        first use.
+    max_entries:
+        Optional soft capacity; when exceeded after a write, the
+        least-recently-modified entries are evicted.
+    """
+
+    def __init__(self, path: str | os.PathLike, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / f"{key}.npz"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.npz"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.path.glob("*.npz"))
+
+    # -- read ------------------------------------------------------------------
+
+    def get(self, key: str) -> StoredResult | None:
+        """Load the entry for *key*, or ``None`` on miss or corruption."""
+        entry = self._entry_path(key)
+        if not entry.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with np.load(entry, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"][()]))
+                counters = {
+                    name[len(_COUNTER_PREFIX):]: data[name].copy()
+                    for name in data.files
+                    if name.startswith(_COUNTER_PREFIX)
+                }
+                result = StoredResult(
+                    study=meta["study"],
+                    config_name=meta["config_name"],
+                    bug_name=meta["bug_name"],
+                    instructions=int(meta["instructions"]),
+                    cycles=float(meta["cycles"]),
+                    amat=float(meta["amat"]),
+                    step=int(meta["step"]),
+                    counters=counters,
+                    ipc=data["ipc"].copy(),
+                )
+        except Exception:
+            # Truncated download, killed writer, disk hiccup: recompute
+            # rather than crash, and drop the unreadable file.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    # -- write -----------------------------------------------------------------
+
+    def put(self, key: str, result: StoredResult) -> None:
+        """Persist *result* under *key* atomically."""
+        entry = self._entry_path(key)
+        tmp = entry.with_suffix(f".tmp{os.getpid()}")
+        meta = json.dumps(
+            {
+                "study": result.study,
+                "config_name": result.config_name,
+                "bug_name": result.bug_name,
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "amat": result.amat,
+                "step": result.step,
+            }
+        )
+        arrays = {f"{_COUNTER_PREFIX}{n}": np.asarray(a) for n, a in result.counters.items()}
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, meta=np.array(meta), ipc=np.asarray(result.ipc), **arrays)
+            os.replace(tmp, entry)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stats.puts += 1
+        if self.max_entries is not None:
+            self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.path.glob("*.npz"), key=lambda p: (p.stat().st_mtime, p.name)
+        )
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        for victim in entries[:excess]:
+            try:
+                victim.unlink()
+                self.stats.evicted += 1
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass

@@ -65,6 +65,24 @@ class TestContext:
         assert setup.cache is context.cache
         assert len(setup.probes) == 0 or setup.probes[0] is not context.probes[0]
 
+    def test_runtime_wiring(self, tmp_path):
+        context = ExperimentContext("smoke", jobs=3, store_path=str(tmp_path / "s"))
+        assert context.engine.jobs == 3
+        assert context.engine.store is context.store
+        assert context.cache.engine is context.engine
+        assert context.memory_cache.engine is context.engine
+        # The ad-hoc IPC-target memory cache shares the same engine/store.
+        setup = context.memory_detection_setup(engine="Lasso", target_metric="ipc")
+        assert setup.cache.engine is context.engine
+
+    def test_jobs_default_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert ExperimentContext("smoke").jobs == 5
+        monkeypatch.delenv("REPRO_JOBS")
+        context = ExperimentContext("smoke")
+        assert context.jobs == 1
+        assert context.store is None
+
 
 class TestRunner:
     def test_experiment_registry_complete(self):

@@ -1,0 +1,360 @@
+"""Tests for the parallel simulation job engine and persistent result store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bugs.core_bugs import SerializeOpcode
+from repro.coresim.hooks import CoreBugModel
+from repro.detect.dataset import MemorySimulationCache, SimulationCache
+from repro.detect.probe import build_probes
+from repro.runtime import (
+    JobEngine,
+    JobFailedError,
+    ResultStore,
+    SimulationJob,
+    TraceRegistry,
+    bug_fingerprint,
+    config_fingerprint,
+    default_jobs,
+    trace_digest,
+)
+from repro.runtime.engine import _chunked
+from repro.runtime.store import StoredResult
+from repro.uarch import core_microarch, memory_microarch
+from repro.workloads import TraceGenerator, build_program, workload
+from repro.workloads.isa import Opcode
+
+
+class ExplodingBug(CoreBugModel):
+    """Picklable bug model that fails as soon as simulation starts."""
+
+    name = "exploding"
+
+    def on_simulation_start(self, config) -> None:
+        raise RuntimeError("boom at simulation start")
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    program = build_program(workload("403.gcc"), seed=11)
+    return TraceGenerator(program, seed=12).generate(1500)
+
+
+@pytest.fixture(scope="module")
+def registry(tiny_trace):
+    registry = TraceRegistry()
+    registry.register(tiny_trace)
+    return registry
+
+
+def _core_jobs(registry, tiny_trace, step=256):
+    trace_id = registry.register(tiny_trace)
+    jobs = []
+    for config_name in ("Skylake", "K8"):
+        config = core_microarch(config_name)
+        for bug in (None, SerializeOpcode(Opcode.XOR)):
+            jobs.append(
+                SimulationJob(
+                    study="core", config=config, bug=bug, trace_id=trace_id, step=step
+                )
+            )
+    return jobs
+
+
+def _assert_results_equal(first, second):
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.instructions == b.instructions
+        assert a.cycles == b.cycles
+        assert np.array_equal(a.ipc, b.ipc)
+        assert set(a.counters) == set(b.counters)
+        for name in a.counters:
+            assert np.array_equal(a.counters[name], b.counters[name]), name
+
+
+class TestJobIdentity:
+    def test_key_is_content_based(self, registry, tiny_trace):
+        trace_id = registry.register(tiny_trace)
+        job = SimulationJob(
+            study="core", config=core_microarch("Skylake"), bug=None,
+            trace_id=trace_id, step=256,
+        )
+        # A structurally equal job built from fresh objects shares the key.
+        clone = SimulationJob(
+            study="core", config=core_microarch("Skylake"), bug=None,
+            trace_id=trace_digest(list(tiny_trace)), step=256,
+        )
+        assert job.key() == clone.key()
+        assert job.seed() == clone.seed()
+
+    def test_key_distinguishes_every_component(self, registry, tiny_trace):
+        trace_id = registry.register(tiny_trace)
+        base = SimulationJob(
+            study="core", config=core_microarch("Skylake"), bug=None,
+            trace_id=trace_id, step=256,
+        )
+        variants = [
+            SimulationJob(study="core", config=core_microarch("K8"), bug=None,
+                          trace_id=trace_id, step=256),
+            SimulationJob(study="core", config=core_microarch("Skylake"),
+                          bug=SerializeOpcode(Opcode.XOR), trace_id=trace_id, step=256),
+            SimulationJob(study="core", config=core_microarch("Skylake"), bug=None,
+                          trace_id=trace_id, step=512),
+            SimulationJob(study="memory", config=memory_microarch("Skylake-mem"),
+                          bug=None, trace_id=trace_id, step=256),
+        ]
+        keys = {base.key()}
+        for variant in variants:
+            assert variant.key() not in keys
+            keys.add(variant.key())
+
+    def test_bug_fingerprint_separates_variants(self):
+        assert bug_fingerprint(None) == "bug-free"
+        xor = bug_fingerprint(SerializeOpcode(Opcode.XOR))
+        sub = bug_fingerprint(SerializeOpcode(Opcode.SUB))
+        assert xor != sub
+        assert bug_fingerprint(SerializeOpcode(Opcode.XOR)) == xor
+
+    def test_config_fingerprint_tracks_content(self):
+        assert config_fingerprint(core_microarch("Skylake")) == config_fingerprint(
+            core_microarch("Skylake")
+        )
+        assert config_fingerprint(core_microarch("Skylake")) != config_fingerprint(
+            core_microarch("K8")
+        )
+
+    def test_trace_digest_is_stable_and_content_sensitive(self, tiny_trace):
+        assert trace_digest(tiny_trace) == trace_digest(list(tiny_trace))
+        assert trace_digest(tiny_trace[:-1]) != trace_digest(tiny_trace)
+
+    def test_registry_memo_retains_objects(self, tiny_trace):
+        registry = TraceRegistry()
+        duplicate = list(tiny_trace)
+        digest = registry.register(duplicate)
+        assert registry.register(tiny_trace) == digest
+        assert registry.register(duplicate) == digest
+        assert len(registry) == 1
+        # The memo must hold strong references: a freed trace's recycled
+        # object id could otherwise alias a stale digest.
+        assert any(entry[0] is duplicate for entry in registry._by_object.values())
+
+    def test_rejects_unknown_study_and_step(self, registry, tiny_trace):
+        trace_id = registry.register(tiny_trace)
+        with pytest.raises(ValueError):
+            SimulationJob(study="quantum", config=core_microarch("Skylake"),
+                          bug=None, trace_id=trace_id, step=256)
+        with pytest.raises(ValueError):
+            SimulationJob(study="core", config=core_microarch("Skylake"),
+                          bug=None, trace_id=trace_id, step=0)
+
+
+class TestChunking:
+    def test_chunks_preserve_order_and_size(self):
+        chunks = _chunked(list(range(10)), 3)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+        assert _chunked([], 4) == []
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            _chunked([1], 0)
+        with pytest.raises(ValueError):
+            JobEngine(jobs=2, chunk_size=0)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+
+class TestEngine:
+    def test_serial_and_parallel_are_identical(self, registry, tiny_trace):
+        """Determinism regression: same batch, same counters/IPC, any jobs."""
+        jobs = _core_jobs(registry, tiny_trace)
+        serial = JobEngine(jobs=1).run(jobs, registry.traces)
+        parallel = JobEngine(jobs=2, chunk_size=1).run(jobs, registry.traces)
+        _assert_results_equal(serial, parallel)
+        assert all(r.ipc.min() > 0 for r in serial)
+
+    def test_duplicate_jobs_simulated_once(self, registry, tiny_trace):
+        jobs = _core_jobs(registry, tiny_trace)
+        engine = JobEngine(jobs=1)
+        results = engine.run(jobs + jobs, registry.traces)
+        assert engine.stats.jobs == 2 * len(jobs)
+        assert engine.stats.executed == len(jobs)
+        _assert_results_equal(results[: len(jobs)], results[len(jobs):])
+
+    def test_progress_callback_reaches_total(self, registry, tiny_trace):
+        seen = []
+        jobs = _core_jobs(registry, tiny_trace)
+        engine = JobEngine(jobs=1, progress=lambda done, total: seen.append((done, total)))
+        engine.run(jobs, registry.traces)
+        assert seen[-1] == (len(jobs), len(jobs))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_unknown_trace_id_rejected(self, registry, tiny_trace):
+        job = SimulationJob(study="core", config=core_microarch("Skylake"),
+                            bug=None, trace_id="deadbeef", step=256)
+        with pytest.raises(KeyError):
+            JobEngine(jobs=1).run([job], registry.traces)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_failure_propagates(self, registry, tiny_trace, jobs):
+        trace_id = registry.register(tiny_trace)
+        batch = [
+            SimulationJob(study="core", config=core_microarch("Skylake"),
+                          bug=None, trace_id=trace_id, step=256),
+            SimulationJob(study="core", config=core_microarch("Skylake"),
+                          bug=ExplodingBug(), trace_id=trace_id, step=256),
+        ]
+        with pytest.raises(JobFailedError) as excinfo:
+            JobEngine(jobs=jobs, chunk_size=1).run(batch, registry.traces)
+        assert "boom at simulation start" in str(excinfo.value)
+        assert "exploding" in excinfo.value.description
+
+
+class TestResultStore:
+    def test_round_trip_is_bit_exact(self, registry, tiny_trace, tmp_path):
+        jobs = _core_jobs(registry, tiny_trace)
+        store = ResultStore(tmp_path / "store")
+        computed = JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        loaded = [store.get(job.key()) for job in jobs]
+        assert all(entry is not None for entry in loaded)
+        _assert_results_equal(computed, loaded)
+
+    def test_second_run_hits_store_only(self, registry, tiny_trace, tmp_path):
+        jobs = _core_jobs(registry, tiny_trace)
+        store = ResultStore(tmp_path / "store")
+        first = JobEngine(jobs=1, store=store)
+        first.run(jobs, registry.traces)
+        assert first.stats.executed == len(jobs)
+        assert first.stats.store_hits == 0
+        second = JobEngine(jobs=1, store=store)
+        results = second.run(jobs, registry.traces)
+        assert second.stats.executed == 0
+        assert second.stats.store_hits == len(jobs)
+        _assert_results_equal(results, [store.get(job.key()) for job in jobs])
+
+    def test_truncated_entry_recomputes_instead_of_crashing(
+        self, registry, tiny_trace, tmp_path
+    ):
+        jobs = _core_jobs(registry, tiny_trace)[:1]
+        store = ResultStore(tmp_path / "store")
+        engine = JobEngine(jobs=1, store=store)
+        intact = engine.run(jobs, registry.traces)
+        entry = store._entry_path(jobs[0].key())
+        entry.write_bytes(entry.read_bytes()[:20])
+
+        assert store.get(jobs[0].key()) is None
+        assert store.stats.corrupt == 1
+        assert not entry.exists()
+
+        recomputed = JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        _assert_results_equal(intact, recomputed)
+        assert store.get(jobs[0].key()) is not None
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (store.path / "nonsense.npz").write_bytes(b"not a zip archive")
+        assert store.get("nonsense") is None
+        assert store.stats.corrupt == 1
+
+    def test_eviction_keeps_newest(self, registry, tiny_trace, tmp_path):
+        jobs = _core_jobs(registry, tiny_trace)
+        store = ResultStore(tmp_path / "store", max_entries=2)
+        results = JobEngine(jobs=1).run(jobs, registry.traces)
+        for index, (job, result) in enumerate(zip(jobs, results)):
+            store.put(job.key(), result)
+            path = store._entry_path(job.key())
+            os.utime(path, (index + 1, index + 1))
+        assert len(store) == 2
+        assert store.stats.evicted == len(jobs) - 2
+        assert jobs[-1].key() in store
+        assert jobs[0].key() not in store
+
+    def test_no_eviction_below_capacity(self, registry, tiny_trace, tmp_path):
+        jobs = _core_jobs(registry, tiny_trace)
+        store = ResultStore(tmp_path / "store", max_entries=len(jobs) + 1)
+        results = JobEngine(jobs=1).run(jobs, registry.traces)
+        for job, result in zip(jobs, results):
+            store.put(job.key(), result)
+        assert len(store) == len(jobs)
+        assert store.stats.evicted == 0
+        assert all(job.key() in store for job in jobs)
+
+    def test_rejects_bad_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", max_entries=0)
+
+
+class TestCacheIntegration:
+    def test_warm_parallel_matches_serial_observations(self):
+        probes = build_probes(["458.sjeng"], instructions_per_benchmark=4000,
+                              interval_size=2000, max_simpoints_per_benchmark=2, seed=3)
+        designs = [core_microarch("Skylake"), core_microarch("K8")]
+        bugs = [None, SerializeOpcode(Opcode.SUB)]
+        requests = [(p, d, b) for p in probes for d in designs for b in bugs]
+
+        serial = SimulationCache(step_cycles=256)
+        serial.warm(requests)
+        parallel = SimulationCache(
+            step_cycles=256, engine=JobEngine(jobs=2, chunk_size=1)
+        )
+        dispatched = parallel.warm(requests)
+        assert dispatched == len(requests)
+        assert parallel.misses == serial.misses == len(requests)
+
+        for probe, design, bug in requests:
+            a = serial.get(probe, design, bug)
+            b = parallel.get(probe, design, bug)
+            assert a.ipc == b.ipc
+            assert np.array_equal(a.series.ipc, b.series.ipc)
+            for name in a.series.counters:
+                assert np.array_equal(a.series.counters[name], b.series.counters[name])
+        # Everything was warmed: the gets above added no misses.
+        assert parallel.misses == len(requests)
+
+    def test_store_shared_between_cache_instances(self, tmp_path):
+        probes = build_probes(["458.sjeng"], instructions_per_benchmark=4000,
+                              interval_size=2000, max_simpoints_per_benchmark=1, seed=3)
+        design = core_microarch("Skylake")
+        store = ResultStore(tmp_path / "store")
+
+        first = SimulationCache(step_cycles=256, engine=JobEngine(jobs=1, store=store))
+        first.get(probes[0], design)
+        assert first.engine.stats.executed == 1
+
+        second = SimulationCache(step_cycles=256, engine=JobEngine(jobs=1, store=store))
+        observation = second.get(probes[0], design)
+        assert second.engine.stats.executed == 0
+        assert second.engine.stats.store_hits == 1
+        assert observation.ipc == first.get(probes[0], design).ipc
+
+    def test_memory_cache_targets_through_engine(self, tmp_path):
+        probes = build_probes(["426.mcf"], instructions_per_benchmark=6000,
+                              interval_size=3000, max_simpoints_per_benchmark=1, seed=5)
+        design = memory_microarch("Skylake-mem")
+        store = ResultStore(tmp_path / "store")
+        amat_cache = MemorySimulationCache(
+            step_instructions=500, target_metric="amat",
+            engine=JobEngine(jobs=1, store=store),
+        )
+        ipc_cache = MemorySimulationCache(
+            step_instructions=500, target_metric="ipc",
+            engine=JobEngine(jobs=1, store=store),
+        )
+        amat_obs = amat_cache.get(probes[0], design)
+        ipc_obs = ipc_cache.get(probes[0], design)
+        # Same underlying simulation served from the store the second time...
+        assert ipc_cache.engine.stats.store_hits == 1
+        assert ipc_cache.engine.stats.executed == 0
+        # ... but each cache derives its own target metric.
+        assert amat_obs.target_metric > 1.0  # AMAT is at least the L1 latency
+        assert ipc_obs.target_metric == ipc_obs.ipc
