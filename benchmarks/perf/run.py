@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Uninstalled entry point for the perf harness: ``python benchmarks/perf/run.py``.
+
+Equivalent to the ``repro-bench`` console script; adds ``src/`` to
+``sys.path`` so it works straight from a checkout.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "src")
+)
+
+from repro.bench.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

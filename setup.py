@@ -1,9 +1,13 @@
 """Package metadata and installation entry points.
 
 ``pip install -e .`` makes the ``repro`` package importable without
-``PYTHONPATH`` tricks and installs the ``repro-experiments`` console script
-(the ``python -m repro.experiments.runner`` CLI: ``--scale``, ``--only``,
-``--jobs``, ``--store``).
+``PYTHONPATH`` tricks and installs two console scripts:
+
+* ``repro-experiments`` — the ``python -m repro.experiments.runner`` CLI
+  (``--scale``, ``--only``, ``--jobs``, ``--store``);
+* ``repro-bench`` — the tracked perf-benchmark harness
+  (``python -m repro.bench.perf``: ``--quick``, ``--jobs``, ``--output``),
+  which writes ``BENCH_simulation.json``.
 """
 
 from setuptools import find_packages, setup
@@ -22,6 +26,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
+            "repro-bench=repro.bench.perf:main",
         ],
     },
 )

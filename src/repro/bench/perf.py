@@ -1,0 +1,280 @@
+"""``repro-bench``: the tracked perf-benchmark harness.
+
+Times the hot path of the reproduction at three layers and writes the
+results to ``BENCH_simulation.json`` (schema below), establishing a perf
+trajectory that successive PRs — and the CI perf-smoke job — can compare
+against:
+
+* ``single``   — single-thread simulation throughput on the *standard probe
+  workload* (smoke-scale SimPoint probes across a representative preset
+  mix), for both the optimized :func:`repro.coresim.simulate_trace` and the
+  frozen pre-PR seed pipeline
+  (:func:`repro.coresim._reference.reference_simulate_trace`).  The headline
+  number is ``aggregate_speedup`` = total seed time / total optimized time.
+  Counter equivalence is asserted on every timed pair, so the harness cannot
+  report a speedup obtained by computing something different.
+* ``engine``   — parallel batch throughput through a persistent
+  :class:`~repro.runtime.JobEngine`, run as two consecutive batches to
+  exercise pool reuse, under both the cost-aware ``ljf`` scheduler and the
+  seed-style ``uniform`` scheduler.
+* ``store``    — cold simulate-and-fill versus warm replay against a
+  :class:`~repro.runtime.ResultStore`.
+
+``--quick`` shrinks every dimension for CI smoke runs (roughly 15 s);
+the default sizing is calibrated for a laptop minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..bugs.core_bugs import SerializeOpcode
+from ..coresim import simulate_trace
+from ..coresim._reference import reference_simulate_trace
+from ..detect.probe import Probe, build_probes
+from ..runtime import JobEngine, ResultStore, SimulationJob, TraceRegistry
+from ..uarch import core_microarch
+from ..workloads.isa import Opcode
+
+#: Output schema version; bump when the JSON layout changes.
+SCHEMA_VERSION = 1
+
+#: Default output file, kept at the repo root by CI so the perf trajectory
+#: of the project lives beside the code that produced it.
+DEFAULT_OUTPUT = "BENCH_simulation.json"
+
+#: Presets making up the standard probe workload: two wide real cores, one
+#: narrow in-order-ish core and one older design — the spread the detection
+#: experiments sweep.
+STANDARD_PRESETS = ("Skylake", "Broadwell", "Cedarview", "K8")
+QUICK_PRESETS = ("Skylake", "Cedarview")
+
+#: Step size used for every timed simulation (the smoke-scale default).
+STEP_CYCLES = 512
+
+
+def _standard_probes(quick: bool) -> list[Probe]:
+    """The standard probe workload (deterministic smoke-scale probes)."""
+    benchmarks = ["403.gcc"] if quick else ["403.gcc", "458.sjeng"]
+    return build_probes(
+        benchmarks,
+        instructions_per_benchmark=9_000 if quick else 15_000,
+        interval_size=3_000,
+        max_simpoints_per_benchmark=2 if quick else 3,
+        seed=7,
+    )
+
+
+def _assert_equivalent(reference, optimized, context: str) -> None:
+    """Fail loudly if the optimized simulator drifted from the seed."""
+    if reference.cycles != optimized.cycles:
+        raise AssertionError(
+            f"{context}: cycle count diverged "
+            f"(seed {reference.cycles}, optimized {optimized.cycles})"
+        )
+    ref_counters = reference.series.counters
+    opt_counters = optimized.series.counters
+    if set(ref_counters) != set(opt_counters):
+        raise AssertionError(f"{context}: counter name sets diverged")
+    for name, ref_values in ref_counters.items():
+        if not np.array_equal(ref_values, opt_counters[name]):
+            raise AssertionError(f"{context}: counter {name!r} diverged")
+
+
+def bench_single(probes: Sequence[Probe], quick: bool) -> dict:
+    """Single-thread throughput: optimized pipeline vs frozen seed pipeline."""
+    presets = QUICK_PRESETS if quick else STANDARD_PRESETS
+    repeats = 1 if quick else 3
+    per_preset = {}
+    total_ref = 0.0
+    total_opt = 0.0
+    instructions = sum(len(p.trace) for p in probes)
+    for preset in presets:
+        config = core_microarch(preset)
+        ref_best = opt_best = float("inf")
+        for _ in range(repeats):
+            ref_elapsed = opt_elapsed = 0.0
+            for probe in probes:
+                start = time.perf_counter()
+                reference = reference_simulate_trace(
+                    config, probe.trace, step_cycles=STEP_CYCLES
+                )
+                ref_elapsed += time.perf_counter() - start
+                decoded = probe.decoded
+                start = time.perf_counter()
+                optimized = simulate_trace(config, decoded, step_cycles=STEP_CYCLES)
+                opt_elapsed += time.perf_counter() - start
+                _assert_equivalent(
+                    reference, optimized, f"{preset}/{probe.name}"
+                )
+            ref_best = min(ref_best, ref_elapsed)
+            opt_best = min(opt_best, opt_elapsed)
+        total_ref += ref_best
+        total_opt += opt_best
+        per_preset[preset] = {
+            "seed_seconds": round(ref_best, 4),
+            "optimized_seconds": round(opt_best, 4),
+            "speedup": round(ref_best / opt_best, 3),
+            "optimized_instr_per_sec": round(instructions / opt_best),
+        }
+    return {
+        "probes": len(probes),
+        "instructions_per_pass": instructions,
+        "presets": per_preset,
+        "aggregate_speedup": round(total_ref / total_opt, 3),
+        "seed_instr_per_sec": round(len(presets) * instructions / total_ref),
+        "optimized_instr_per_sec": round(len(presets) * instructions / total_opt),
+        "counter_equivalence_checked": True,
+    }
+
+
+def _engine_jobs(
+    probes: Sequence[Probe], registry: TraceRegistry, quick: bool
+) -> list[SimulationJob]:
+    presets = QUICK_PRESETS if quick else STANDARD_PRESETS
+    bugs = [None, SerializeOpcode(Opcode.XOR)]
+    return [
+        SimulationJob(
+            study="core",
+            config=core_microarch(preset),
+            bug=bug,
+            trace_id=registry.register(probe.decoded),
+            step=STEP_CYCLES,
+        )
+        for preset in presets
+        for bug in bugs
+        for probe in probes
+    ]
+
+
+def bench_engine(probes: Sequence[Probe], jobs: int, quick: bool) -> dict:
+    """Batch throughput through a persistent pool, per scheduler."""
+    registry = TraceRegistry()
+    batch = _engine_jobs(probes, registry, quick)
+    half = len(batch) // 2
+    schedulers = {}
+    for scheduler in ("ljf", "uniform"):
+        with JobEngine(jobs=jobs, scheduler=scheduler) as engine:
+            start = time.perf_counter()
+            engine.run(batch[:half], registry.traces)
+            first_elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            engine.run(batch[half:], registry.traces)
+            second_elapsed = time.perf_counter() - start
+            stats = engine.stats
+            schedulers[scheduler] = {
+                "first_batch_seconds": round(first_elapsed, 4),
+                "reused_pool_batch_seconds": round(second_elapsed, 4),
+                "jobs_per_sec": round(len(batch) / (first_elapsed + second_elapsed), 2),
+                "chunks": stats.chunks,
+                "pool_creates": stats.pool_creates,
+                "pool_reuses": stats.pool_reuses,
+                "traces_shipped": stats.traces_shipped,
+                "trace_deltas": stats.trace_deltas,
+                "straggler_jobs": stats.straggler_jobs,
+            }
+    return {"jobs": len(batch), "workers": jobs, "schedulers": schedulers}
+
+
+def bench_store(probes: Sequence[Probe], quick: bool) -> dict:
+    """Cold simulate-and-fill vs warm replay against a persistent store."""
+    registry = TraceRegistry()
+    batch = _engine_jobs(probes, registry, quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ResultStore(os.path.join(tmp, "store"))
+        with JobEngine(jobs=1, store=store) as cold:
+            start = time.perf_counter()
+            cold.run(batch, registry.traces)
+            cold_elapsed = time.perf_counter() - start
+            cold_executed = cold.stats.executed
+        with JobEngine(jobs=1, store=store) as warm:
+            start = time.perf_counter()
+            warm.run(batch, registry.traces)
+            warm_elapsed = time.perf_counter() - start
+            warm_hits = warm.stats.store_hits
+    return {
+        "jobs": len(batch),
+        "cold_seconds": round(cold_elapsed, 4),
+        "warm_seconds": round(warm_elapsed, 4),
+        "replay_speedup": round(cold_elapsed / warm_elapsed, 1)
+        if warm_elapsed
+        else None,
+        "cold_executed": cold_executed,
+        "warm_store_hits": warm_hits,
+    }
+
+
+def run_benchmarks(quick: bool = False, jobs: int = 2) -> dict:
+    """Run every benchmark section and return the report dict."""
+    started = time.time()
+    probes = _standard_probes(quick)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "simulation",
+        "quick": quick,
+        "single": bench_single(probes, quick),
+        "engine": bench_engine(probes, jobs, quick),
+        "store": bench_store(probes, quick),
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "total_seconds": None,  # filled below
+    }
+    report["total_seconds"] = round(time.time() - started, 1)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer probes, presets and repeats",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the engine benchmark (default 2)",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, jobs=max(1, args.jobs))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    single = report["single"]
+    engine = report["engine"]["schedulers"]
+    store = report["store"]
+    print(f"repro-bench ({'quick' if args.quick else 'full'}) -> {args.output}")
+    print(
+        f"  single-thread: {single['aggregate_speedup']}x vs seed pipeline "
+        f"({single['optimized_instr_per_sec']:,} instr/s, counter-equivalent)"
+    )
+    for name, row in engine.items():
+        print(
+            f"  engine[{name}]: {row['jobs_per_sec']} jobs/s, "
+            f"{row['chunks']} chunks, straggler={row['straggler_jobs']} jobs, "
+            f"pool reuse {row['pool_reuses']}/{row['pool_creates'] + row['pool_reuses']}"
+        )
+    print(
+        f"  store replay: {store['replay_speedup']}x "
+        f"({store['warm_store_hits']} hits in {store['warm_seconds']}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

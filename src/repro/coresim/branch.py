@@ -88,24 +88,38 @@ class BranchPredictor:
 
         The trace carries the architecturally-correct outcome, so prediction
         and training happen in one call (prediction uses the state *before*
-        the update, as in hardware).
+        the update, as in hardware).  The direction/target helpers above are
+        inlined here — this runs once per fetched branch on the simulation hot
+        path; behavioural equivalence with the helper methods is pinned by the
+        counter-equivalence suite against the frozen seed predictor.
         """
-        if not uop.is_branch or uop.taken is None:
+        taken = uop.taken
+        if taken is None or not uop.is_branch:
             return False
         self.lookups += 1
-        predicted_taken = self._predict_direction(uop.pc)
+        pc = uop.pc
+        counters = self.counters
+        history = self.history
+        index = ((pc >> 2) ^ history) % self.table_entries
+        predicted_taken = counters[index] >= 2
         predicted_target = self._predict_target(uop) if predicted_taken else None
 
-        mispredicted = predicted_taken != uop.taken
+        mispredicted = predicted_taken != taken
         if mispredicted:
             self.direction_mispredicts += 1
-        elif uop.taken and predicted_target != uop.target:
+        elif taken and predicted_target != uop.target:
             mispredicted = True
             if uop.indirect:
                 self.indirect_mispredicts += 1
 
-        self._update_direction(uop.pc, uop.taken)
-        if uop.taken:
+        counter = counters[index]
+        if taken:
+            if counter < 3:
+                counters[index] = counter + 1
+        elif counter > 0:
+            counters[index] = counter - 1
+        self.history = ((history << 1) | taken) & self.history_mask
+        if taken:
             self._update_target(uop)
         if mispredicted:
             self.mispredicts += 1

@@ -16,6 +16,18 @@ from .hooks import CoreBugModel
 class Cache:
     """One cache level: tag store with true-LRU replacement."""
 
+    __slots__ = (
+        "name",
+        "config",
+        "num_sets",
+        "associativity",
+        "line_shift",
+        "_sets",
+        "_tick",
+        "accesses",
+        "misses",
+    )
+
     def __init__(self, name: str, config: CacheConfig) -> None:
         self.name = name
         self.config = config
@@ -88,16 +100,54 @@ class CacheHierarchy:
         self.memory_latency = max(
             30, int(round(self.MEMORY_LATENCY_NS * config.clock_ghz))
         )
+        # Hot-path hoist: when the bug model leaves ``cache_extra_latency``
+        # unoverridden it is a pure zero, so per-level hit latencies are
+        # constants and the hook is never called (see docs/PERFORMANCE.md).
+        if type(bug).cache_extra_latency is CoreBugModel.cache_extra_latency:
+            self._static_latency: list[int] | None = [
+                cache.config.latency for cache in self.levels
+            ]
+        else:
+            self._static_latency = None
+        self._outer_levels = self.levels[1:]
 
     def access(self, address: int) -> int:
         """Access *address* and return the total latency in core cycles."""
         latency = 0
         hit_level = 0
-        for index, cache in enumerate(self.levels, start=1):
-            latency += cache.config.latency + self.bug.cache_extra_latency(index)
-            if cache.lookup(address):
-                hit_level = index
-                break
+        static = self._static_latency
+        if static is not None:
+            # Hot path: `Cache.lookup` inlined for the L1 probe (the
+            # overwhelmingly common hit case), outer levels via the method.
+            l1 = self.levels[0]
+            l1._tick += 1
+            line = address >> l1.line_shift
+            set_index = line % l1.num_sets
+            tag = line // l1.num_sets
+            cache_set = l1._sets[set_index]
+            l1.accesses += 1
+            latency = static[0]
+            if tag in cache_set:
+                cache_set[tag] = l1._tick
+                return latency
+            l1.misses += 1
+            if len(cache_set) >= l1.associativity:
+                victim = min(cache_set, key=cache_set.get)
+                del cache_set[victim]
+            cache_set[tag] = l1._tick
+            index = 1
+            for cache in self._outer_levels:
+                latency += static[index]
+                index += 1
+                if cache.lookup(address):
+                    hit_level = index
+                    break
+        else:
+            for index, cache in enumerate(self.levels, start=1):
+                latency += cache.config.latency + self.bug.cache_extra_latency(index)
+                if cache.lookup(address):
+                    hit_level = index
+                    break
         if hit_level == 0:
             latency += self.memory_latency
         if hit_level != 1:

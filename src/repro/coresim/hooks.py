@@ -8,6 +8,14 @@ and :mod:`repro.bugs.core_bugs` provides one subclass per bug type.
 A hook object may keep internal state (e.g. per-cache-line store counts) —
 the pipeline guarantees that dispatch-time hooks are invoked exactly once per
 dynamic instruction, in program order.
+
+Fast-path contract (see docs/PERFORMANCE.md): the pipeline detects, once at
+construction, which hooks a bug model overrides (class-level comparison
+against :class:`CoreBugModel`) and never calls the unoverridden ones — they
+are pure no-ops by definition.  Consequently hooks must be overridden at
+class level (not assigned as instance attributes), and a model must not rely
+on base-class hooks being *called*.  Overridden hooks keep their documented
+call guarantees exactly.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..uarch.config import MicroarchConfig
+from ..workloads.decoded import DecodedTrace
 from ..workloads.isa import MicroOp
 from .counters import CounterTimeSeries
 from .hooks import CoreBugModel
@@ -50,7 +51,7 @@ class SimulationResult:
 
 def simulate_trace(
     config: MicroarchConfig,
-    trace: list[MicroOp],
+    trace: "list[MicroOp] | DecodedTrace",
     bug: CoreBugModel | None = None,
     step_cycles: int = DEFAULT_STEP_CYCLES,
     warmup: bool = True,
@@ -62,7 +63,11 @@ def simulate_trace(
     config:
         The microarchitecture to model (see :mod:`repro.uarch.presets`).
     trace:
-        Dynamic instruction stream (e.g. a SimPoint probe's trace).
+        Dynamic instruction stream (e.g. a SimPoint probe's trace), either a
+        plain micro-op list or a pre-decoded
+        :class:`~repro.workloads.decoded.DecodedTrace`.  Passing the decoded
+        form (or re-passing the same list object) amortises per-op decoding
+        across every (design x bug) simulation of the trace.
     bug:
         Bug model to inject, or ``None`` for the bug-free design.
     step_cycles:

@@ -62,11 +62,14 @@ class SimulationCache:
         return len(self._cache)
 
     def _job(self, probe: Probe, config, bug) -> SimulationJob:
+        # Register the pre-decoded trace: the digest (and therefore every job
+        # key and store entry) is identical to the plain list's, but workers
+        # receive compact column arrays plus an amortised per-trace decode.
         return SimulationJob(
             study=self.study,
             config=config,
             bug=bug,
-            trace_id=self._registry.register(probe.trace),
+            trace_id=self._registry.register(probe.decoded),
             step=self.step_cycles,
         )
 

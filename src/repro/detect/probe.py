@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..simpoint.simpoint import SimPoint, select_simpoints
+from ..workloads.decoded import DecodedTrace, decode_trace
 from ..workloads.isa import MicroOp
 from ..workloads.spec2006 import workload
 from ..workloads.synth import build_program
@@ -35,6 +36,16 @@ class Probe:
     @property
     def trace(self) -> list[MicroOp]:
         return self.simpoint.trace
+
+    @property
+    def decoded(self) -> DecodedTrace:
+        """Pre-decoded trace for the simulation hot path.
+
+        Decoding is memoised by trace object identity, so every copy of a
+        probe sharing one :class:`SimPoint` — the detector copies probes
+        freely — shares a single decode.
+        """
+        return decode_trace(self.simpoint.trace)
 
     @property
     def weight(self) -> float:

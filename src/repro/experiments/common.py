@@ -226,6 +226,16 @@ class ExperimentContext:
             engine=self.engine,
         )
 
+    def close(self) -> None:
+        """Shut down the shared engine's persistent worker pool."""
+        self.engine.close()
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
     # -- probes ----------------------------------------------------------------
 
     @property

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..coresim.counters import CounterTimeSeries
 from ..uarch.config import MemoryHierarchyConfig
+from ..workloads.decoded import DecodedTrace, as_uops
 from ..workloads.isa import MicroOp
 from .cache import ReplacementCache
 from .hooks import MEM_BUG_FREE, MemoryBugModel
@@ -187,10 +188,15 @@ class MemoryHierarchySim:
 
 def simulate_memory_trace(
     config: MemoryHierarchyConfig,
-    trace: list[MicroOp],
+    trace: "list[MicroOp] | DecodedTrace",
     bug: MemoryBugModel | None = None,
     step_instructions: int = DEFAULT_STEP_INSTRUCTIONS,
 ) -> MemSimResult:
-    """Convenience wrapper mirroring :func:`repro.coresim.simulate_trace`."""
+    """Convenience wrapper mirroring :func:`repro.coresim.simulate_trace`.
+
+    Accepts a plain micro-op list or a pre-decoded
+    :class:`~repro.workloads.decoded.DecodedTrace` (as shipped to job-engine
+    workers); the memory simulator walks micro-op objects either way.
+    """
     sim = MemoryHierarchySim(config, bug=bug, step_instructions=step_instructions)
-    return sim.run(trace)
+    return sim.run(as_uops(trace))

@@ -14,22 +14,42 @@ and parallel execution produce bit-identical results: the simulators are
 deterministic functions of (config, bug, trace, step), and each job is
 additionally handed a deterministic content-derived seed so that future
 stochastic simulator features cannot silently diverge across workers.
+
+Two scheduling properties matter for throughput (see docs/PERFORMANCE.md):
+
+* **Persistent worker pool.**  The executor is created on first parallel use
+  and reused across ``run`` batches, so spawn-platform import costs and trace
+  shipping are paid once per engine, not once per batch.  Worker processes
+  keep a cumulative content-addressed trace table; traces a batch introduces
+  after pool creation travel as per-chunk deltas (workers ignore digests they
+  already hold).  ``close()`` — or garbage collection of the engine — shuts
+  the pool down.
+
+* **Cost-aware chunking.**  Jobs vary roughly an order of magnitude in cost
+  with trace length and design width, so uniform chunking leaves stragglers.
+  The default ``ljf`` scheduler bins jobs longest-first into balanced chunks
+  (cost proxy: trace length × design width) and dispatches the costliest
+  chunks first; ``uniform`` keeps the seed's input-order chunking for
+  comparison.  Chunk composition never affects results — results are matched
+  to jobs by index.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 import random
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..coresim.simulator import simulate_trace
 from ..memsim.simulator import simulate_memory_trace
-from ..workloads.isa import MicroOp
 from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob
 from .store import ResultStore, StoredResult
 
@@ -39,6 +59,9 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: Hard ceiling on the per-chunk job count (bounds pickling latency and
 #: keeps progress callbacks responsive on long batches).
 MAX_CHUNK_SIZE = 32
+
+#: Scheduling strategies understood by :class:`JobEngine`.
+SCHEDULERS = ("ljf", "uniform")
 
 
 def default_jobs() -> int:
@@ -66,32 +89,52 @@ class JobFailedError(RuntimeError):
 
 @dataclass
 class EngineStats:
-    """Counters describing what one :class:`JobEngine` actually did."""
+    """Counters describing what one :class:`JobEngine` actually did.
+
+    Beyond the seed's batch/job/store counters, the scheduling fields let
+    alternative schedulers be compared from a progress callback:
+    ``chunks`` (worker tasks dispatched), ``straggler_jobs`` (jobs in the
+    chunk that finished last in the most recent parallel batch),
+    ``pool_creates``/``pool_reuses`` (persistent-pool behaviour),
+    ``traces_shipped`` (traces sent via pool initialisation) and
+    ``trace_deltas`` (trace copies attached to chunks as deltas).
+    """
 
     batches: int = 0
     jobs: int = 0
     store_hits: int = 0
     executed: int = 0
+    chunks: int = 0
+    straggler_jobs: int = 0
+    pool_creates: int = 0
+    pool_reuses: int = 0
+    traces_shipped: int = 0
+    trace_deltas: int = 0
 
     def reset(self) -> None:
         self.batches = self.jobs = self.store_hits = self.executed = 0
+        self.chunks = self.straggler_jobs = 0
+        self.pool_creates = self.pool_reuses = 0
+        self.traces_shipped = self.trace_deltas = 0
 
 
 # -- worker-side machinery ---------------------------------------------------
 #
-# The trace table is installed once per worker process via the executor's
-# initializer, so jobs reference traces by content digest instead of
-# re-pickling multi-thousand-instruction traces for every job.
+# Each worker process keeps a cumulative content-addressed trace table.  The
+# pool initializer installs the traces known at pool-creation time; chunks
+# carry {digest: trace} deltas for traces first referenced by a later batch,
+# which workers merge in (digests they already hold are simply overwritten
+# with identical content, so the merge is idempotent).
 
-_WORKER_TRACES: Mapping[str, list[MicroOp]] = {}
+_WORKER_TRACES: dict = {}
 
 
-def _init_worker(traces: Mapping[str, list[MicroOp]]) -> None:
+def _init_worker(traces: Mapping) -> None:
     global _WORKER_TRACES
-    _WORKER_TRACES = traces
+    _WORKER_TRACES = dict(traces)
 
 
-def _execute_job(job: SimulationJob, trace: list[MicroOp]) -> StoredResult:
+def _execute_job(job: SimulationJob, trace) -> StoredResult:
     """Run one job to completion on *trace* (in-process or in a worker)."""
     # The simulators are deterministic, but seed the global RNGs from the
     # job identity anyway so any future stochastic component stays
@@ -129,8 +172,11 @@ class _ChunkFailure:
 
 
 def _run_chunk(
-    chunk: list[tuple[int, SimulationJob]],
+    payload: tuple[list[tuple[int, SimulationJob]], Mapping],
 ) -> list[tuple[int, StoredResult]] | _ChunkFailure:
+    chunk, delta = payload
+    if delta:
+        _WORKER_TRACES.update(delta)
     results: list[tuple[int, StoredResult]] = []
     for index, job in chunk:
         try:
@@ -149,6 +195,46 @@ def _chunked(items: Sequence, chunk_size: int) -> list[list]:
     return [list(items[i:i + chunk_size]) for i in range(0, len(items), chunk_size)]
 
 
+def _job_cost(job: SimulationJob, traces: Mapping) -> int:
+    """Cost proxy for one job: trace length × design width.
+
+    Simulated cycles scale with trace length, and per-cycle work scales with
+    the machine width (more dispatch/issue/commit slots per cycle), so the
+    product tracks wall-clock within the accuracy LJF binning needs.
+    """
+    trace = traces.get(job.trace_id)
+    length = len(trace) if trace is not None else 1
+    config = job.config
+    width = getattr(config, "width", None)
+    if width is None:
+        width = getattr(config, "issue_width", 1)
+    return max(1, length * int(width))
+
+
+def _progress_arity(progress: Callable | None) -> int:
+    """How many positional arguments *progress* accepts (2 or 3)."""
+    if progress is None:
+        return 2
+    try:
+        parameters = inspect.signature(progress).parameters.values()
+    except (TypeError, ValueError):  # builtins, C callables
+        return 2
+    positional = [
+        p
+        for p in parameters
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+    ]
+    # Variadic callables (e.g. a `lambda *a:` wrapper around a seed-style
+    # two-argument callback) conservatively get the seed calling convention;
+    # only an explicit three-parameter signature opts into receiving stats.
+    return 3 if len(positional) >= 3 else 2
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
 class JobEngine:
     """Executes simulation job batches, in parallel when asked to.
 
@@ -165,7 +251,17 @@ class JobEngine:
         per worker, capped at :data:`MAX_CHUNK_SIZE`.
     progress:
         Optional ``callback(done, total)`` invoked as batch jobs finish
-        (store hits report immediately).
+        (store hits report immediately).  A three-argument callback
+        ``callback(done, total, stats)`` additionally receives the live
+        :class:`EngineStats`, exposing chunking and pool-reuse behaviour.
+    scheduler:
+        ``"ljf"`` (default) bins pending jobs longest-first into
+        cost-balanced chunks and dispatches the costliest chunks first;
+        ``"uniform"`` chunks in input order like the seed engine.
+
+    The engine may be used as a context manager; ``close()`` shuts down the
+    persistent worker pool (it is also closed automatically when the engine
+    is garbage collected).
     """
 
     def __init__(
@@ -173,15 +269,84 @@ class JobEngine:
         jobs: int | None = None,
         store: ResultStore | None = None,
         chunk_size: int | None = None,
-        progress: Callable[[int, int], None] | None = None,
+        progress: Callable | None = None,
+        scheduler: str = "ljf",
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.store = store
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; available: {SCHEDULERS}"
+            )
         self.chunk_size = chunk_size
+        self.scheduler = scheduler
         self.progress = progress
+        self._progress_args = _progress_arity(progress)
         self.stats = EngineStats()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_trace_ids: set[str] = set()
+        self._pool_finalizer: weakref.finalize | None = None
+        # Rebase bookkeeping: cumulative traces seen by this engine, the
+        # instruction cost shipped via pool initialisation, and the delta
+        # cost shipped since — when deltas outweigh the initialiser payload,
+        # the pool is rebuilt with the merged table so recurring traces stop
+        # travelling with every chunk.
+        self._all_traces: dict[str, object] = {}
+        self._initializer_cost = 0
+        self._delta_cost_since_rebase = 0
+
+    # -- pool lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            self._pool_trace_ids = set()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            _shutdown_pool(pool)
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, batch_traces: Mapping) -> ProcessPoolExecutor:
+        """Return the persistent pool, creating or rebasing it as needed.
+
+        A pool is created on first parallel use with the batch's traces in
+        its initializer.  Later batches ship new traces as per-chunk deltas;
+        once the cumulative delta payload outweighs the initializer payload,
+        the pool is *rebased* — torn down and recreated with every trace
+        this engine has seen — so long-lived engines converge back to
+        shipping each trace once per worker.
+        """
+        self._all_traces.update(batch_traces)
+        if self._pool is not None and self._delta_cost_since_rebase > max(
+            1, self._initializer_cost
+        ):
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(dict(self._all_traces),),
+            )
+            self._pool_trace_ids = set(self._all_traces)
+            self._initializer_cost = sum(
+                len(trace) for trace in self._all_traces.values()
+            )
+            self._delta_cost_since_rebase = 0
+            self.stats.pool_creates += 1
+            self.stats.traces_shipped += len(self._all_traces)
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        else:
+            self.stats.pool_reuses += 1
+        return self._pool
 
     # -- internals -------------------------------------------------------------
 
@@ -191,22 +356,65 @@ class JobEngine:
         spread = max(1, pending // (self.jobs * 4))
         return min(spread, MAX_CHUNK_SIZE)
 
+    def _plan_chunks(
+        self,
+        pending: list[tuple[int, SimulationJob]],
+        traces: Mapping,
+    ) -> list[list[tuple[int, SimulationJob]]]:
+        """Split *pending* into worker chunks according to the scheduler.
+
+        ``uniform`` reproduces the seed behaviour (input order, fixed size).
+        ``ljf`` performs longest-processing-time binning: jobs sorted by
+        descending cost go to the least-loaded chunk with room, and chunks
+        are returned costliest-first so the heaviest work starts earliest.
+        Both plans are deterministic functions of the batch.
+        """
+        chunk_size = self._pick_chunk_size(len(pending))
+        if self.scheduler == "uniform":
+            return _chunked(pending, chunk_size)
+        num_chunks = (len(pending) + chunk_size - 1) // chunk_size
+        if num_chunks <= 1:
+            return [list(pending)]
+        costs = [_job_cost(job, traces) for _, job in pending]
+        order = sorted(range(len(pending)), key=lambda i: (-costs[i], i))
+        bins: list[list[tuple[int, SimulationJob]]] = [[] for _ in range(num_chunks)]
+        bin_costs = [0] * num_chunks
+        # Least-loaded-first heap; bins at capacity drop out of the heap.
+        heap: list[tuple[int, int]] = [(0, b) for b in range(num_chunks)]
+        for i in order:
+            while True:
+                load, b = heappop(heap)
+                if len(bins[b]) < chunk_size:
+                    break
+            bins[b].append(pending[i])
+            bin_costs[b] = load + costs[i]
+            if len(bins[b]) < chunk_size:
+                heappush(heap, (bin_costs[b], b))
+        plan = [b for b in range(num_chunks) if bins[b]]
+        plan.sort(key=lambda b: (-bin_costs[b], b))
+        return [bins[b] for b in plan]
+
     def _report(self, done: int, total: int) -> None:
         if self.progress is not None:
-            self.progress(done, total)
+            if self._progress_args >= 3:
+                self.progress(done, total, self.stats)
+            else:
+                self.progress(done, total)
 
     # -- API -------------------------------------------------------------------
 
     def run(
         self,
         jobs: Sequence[SimulationJob],
-        traces: Mapping[str, list[MicroOp]],
+        traces: Mapping,
     ) -> list[StoredResult]:
         """Execute *jobs*, returning results in input order.
 
         *traces* maps each job's ``trace_id`` to the actual instruction
-        trace; only the traces the batch references are shipped to workers.
-        Duplicate job contents within one batch are simulated once.
+        trace (a micro-op list or a
+        :class:`~repro.workloads.decoded.DecodedTrace`); only the traces the
+        batch references are shipped to workers.  Duplicate job contents
+        within one batch are simulated once.
         """
         self.stats.batches += 1
         self.stats.jobs += len(jobs)
@@ -264,25 +472,61 @@ class JobEngine:
     def _run_parallel(
         self,
         pending: list[tuple[int, SimulationJob]],
-        traces: Mapping[str, list[MicroOp]],
+        traces: Mapping,
         results: list[StoredResult | None],
         total: int,
         num_duplicates: int,
     ) -> None:
         needed_ids = {job.trace_id for _, job in pending}
         batch_traces = {tid: traces[tid] for tid in needed_ids}
-        chunks = _chunked(pending, self._pick_chunk_size(len(pending)))
-        workers = min(self.jobs, len(chunks))
+        pool = self._ensure_pool(batch_traces)
+        known_ids = self._pool_trace_ids
+        chunks = self._plan_chunks(pending, traces)
+        self.stats.chunks += len(chunks)
         done = total - len(pending) - num_duplicates
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(batch_traces,),
-        ) as pool:
-            for outcome in pool.map(_run_chunk, chunks):
-                if isinstance(outcome, _ChunkFailure):
-                    raise JobFailedError(outcome.description, outcome.remote_traceback)
-                for index, stored in outcome:
-                    results[index] = stored
-                    done += 1
-                self._report(done, total)
+
+        futures = {}
+        unfinished: set = set()
+        try:
+            for chunk in chunks:
+                # Per-chunk trace delta: whatever this chunk references that
+                # the pool's trace table does not hold.  Workers merge deltas
+                # into their cumulative table; once the delta payload this
+                # engine has shipped outweighs the initializer payload, the
+                # next `_ensure_pool` rebases the pool (see there).
+                delta = {
+                    tid: batch_traces[tid]
+                    for tid in {job.trace_id for _, job in chunk}
+                    if tid not in known_ids
+                }
+                self.stats.trace_deltas += len(delta)
+                self._delta_cost_since_rebase += sum(
+                    len(trace) for trace in delta.values()
+                )
+                futures[pool.submit(_run_chunk, (chunk, delta))] = chunk
+
+            unfinished = set(futures)
+            while unfinished:
+                finished, unfinished = wait(unfinished, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    outcome = future.result()
+                    if isinstance(outcome, _ChunkFailure):
+                        raise JobFailedError(
+                            outcome.description, outcome.remote_traceback
+                        )
+                    for index, stored in outcome:
+                        results[index] = stored
+                        done += 1
+                    self.stats.straggler_jobs = len(futures[future])
+                    self._report(done, total)
+        except JobFailedError:
+            # The pool itself is healthy (failures travel as values); cancel
+            # whatever has not started and keep the pool for the next batch.
+            for future in unfinished:
+                future.cancel()
+            raise
+        except BaseException:
+            # Pool-level failure (e.g. a worker died): tear the pool down so
+            # the next batch starts from a clean slate.
+            self.close()
+            raise

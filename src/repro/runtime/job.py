@@ -21,7 +21,13 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from ..workloads.decoded import DecodedTrace
 from ..workloads.isa import MicroOp
+
+#: A trace in any of the forms the runtime accepts: a plain micro-op list or
+#: the pre-decoded representation (preferred — it ships to workers as compact
+#: column arrays instead of pickled object lists).
+TraceLike = "list[MicroOp] | DecodedTrace"
 
 #: Study kinds understood by the engine workers.
 CORE_STUDY = "core"
@@ -77,8 +83,14 @@ def bug_fingerprint(bug) -> str:
     return _digest(payload)
 
 
-def trace_digest(trace: Iterable[MicroOp]) -> str:
-    """Content hash of a dynamic instruction trace."""
+def trace_digest(trace: "Iterable[MicroOp] | DecodedTrace") -> str:
+    """Content hash of a dynamic instruction trace.
+
+    A :class:`~repro.workloads.decoded.DecodedTrace` returns its cached
+    digest (identical to hashing its micro-op list) without re-hashing.
+    """
+    if isinstance(trace, DecodedTrace):
+        return trace.digest
     hasher = hashlib.blake2b(digest_size=16)
     for uop in trace:
         hasher.update(
@@ -154,17 +166,21 @@ class TraceRegistry:
     """Content-addressed table of traces shared with worker processes.
 
     Digesting a multi-thousand-instruction trace is not free, so the digest
-    of each distinct trace object is memoised by object identity.
+    of each distinct trace object is memoised by object identity.  Traces may
+    be registered either as plain micro-op lists or as
+    :class:`~repro.workloads.decoded.DecodedTrace` objects; the decoded form
+    is what the engine prefers to ship to workers (compact column arrays,
+    pre-decoded scalars on arrival).
     """
 
     def __init__(self) -> None:
-        self._traces: dict[str, list[MicroOp]] = {}
+        self._traces: dict[str, object] = {}
         # id -> (trace, digest): the strong reference to the trace pins its
         # object id, so a garbage-collected trace can never alias a stale
         # memo entry onto a recycled id.
-        self._by_object: dict[int, tuple[list[MicroOp], str]] = {}
+        self._by_object: dict[int, tuple[object, str]] = {}
 
-    def register(self, trace: list[MicroOp]) -> str:
+    def register(self, trace) -> str:
         """Register *trace* and return its content digest."""
         object_id = id(trace)
         known = self._by_object.get(object_id)
@@ -172,11 +188,17 @@ class TraceRegistry:
             return known[1]
         digest = trace_digest(trace)
         self._by_object[object_id] = (trace, digest)
-        self._traces.setdefault(digest, trace)
+        # A decoded trace supersedes a previously registered plain list of
+        # the same content (same digest, cheaper to ship).
+        existing = self._traces.get(digest)
+        if existing is None or (
+            isinstance(trace, DecodedTrace) and not isinstance(existing, DecodedTrace)
+        ):
+            self._traces[digest] = trace
         return digest
 
     @property
-    def traces(self) -> Mapping[str, list[MicroOp]]:
+    def traces(self) -> Mapping[str, object]:
         """The ``{trace_id: trace}`` table to hand to a :class:`JobEngine`."""
         return self._traces
 

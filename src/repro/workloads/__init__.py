@@ -6,6 +6,7 @@ dynamic-trace generator.  Together they replace the SPEC binaries + gem5
 trace capture used in the paper.
 """
 
+from .decoded import DecodedTrace, as_uops, decode_trace
 from .isa import (
     NUM_ARCH_REGS,
     NUM_FP_REGS,
@@ -21,6 +22,9 @@ from .synth import StaticBlock, StaticInstr, SyntheticProgram, build_program
 from .trace import TraceGenerator, split_into_intervals
 
 __all__ = [
+    "DecodedTrace",
+    "decode_trace",
+    "as_uops",
     "MicroOp",
     "OpClass",
     "Opcode",
