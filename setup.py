@@ -4,10 +4,14 @@
 ``PYTHONPATH`` tricks and installs two console scripts:
 
 * ``repro-experiments`` — the ``python -m repro.experiments.runner`` CLI
-  (``--scale``, ``--only``, ``--jobs``, ``--store``);
+  (``--scale``, ``--only``, ``--jobs``, ``--store``, ``--trace-dir``,
+  ``--trace-format``);
 * ``repro-bench`` — the tracked perf-benchmark harness
   (``python -m repro.bench.perf``: ``--quick``, ``--jobs``, ``--output``),
-  which writes ``BENCH_simulation.json``.
+  which writes ``BENCH_simulation.json``;
+* ``repro-ingest`` — on-disk trace inspection
+  (``python -m repro.workloads.ingest``: lists format, instruction count,
+  digest and optional SimPoint probes for each trace in a directory).
 """
 
 from setuptools import find_packages, setup
@@ -27,6 +31,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
             "repro-bench=repro.bench.perf:main",
+            "repro-ingest=repro.workloads.ingest:main",
         ],
     },
 )

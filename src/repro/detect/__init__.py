@@ -20,13 +20,24 @@ from .detector import (
     TwoStageDetector,
 )
 from .metrics import DetectionMetrics, compute_metrics, roc_auc, roc_curve
-from .probe import Probe, build_probes
+from .probe import (
+    IngestedProbeSource,
+    Probe,
+    ProbeSource,
+    SyntheticProbeSource,
+    build_ingested_probes,
+    build_probes,
+)
 from .stage1 import ProbeModel, ProbeModelConfig
 from .stage2 import RuleBasedClassifier
 
 __all__ = [
     "Probe",
+    "ProbeSource",
+    "SyntheticProbeSource",
+    "IngestedProbeSource",
     "build_probes",
+    "build_ingested_probes",
     "SimulationCache",
     "MemorySimulationCache",
     "Observation",

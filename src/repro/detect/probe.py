@@ -5,14 +5,22 @@ workload via SimPoint, together with the subset of performance counters
 selected for it.  Counters are selected later (after bug-free training data
 exists) by :mod:`repro.detect.counter_selection`; a freshly built probe starts
 with no counters attached.
+
+Probes come from two kinds of workload: synthetic programs profiled
+in-process (:func:`build_probes`) and real on-disk traces ingested by
+:mod:`repro.workloads.ingest` (:func:`build_ingested_probes`).  The
+:class:`ProbeSource` wrappers give both a uniform ``build()`` interface so
+everything downstream — simulation caches, detectors, experiments — treats
+the resulting probes identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..simpoint.simpoint import SimPoint, select_simpoints
+from ..simpoint.simpoint import SimPoint, select_simpoints, select_simpoints_from_uops
 from ..workloads.decoded import DecodedTrace, decode_trace
+from ..workloads.ingest import discover_traces
 from ..workloads.isa import MicroOp
 from ..workloads.spec2006 import workload
 from ..workloads.synth import build_program
@@ -91,3 +99,82 @@ def build_probes(
         )
         probes.extend(Probe(simpoint=sp) for sp in selection)
     return probes
+
+
+def build_ingested_probes(
+    trace_dir,
+    trace_format: str | None = None,
+    interval_size: int = 3_000,
+    max_simpoints_per_trace: int = 8,
+    seed: int = 0,
+) -> list[Probe]:
+    """Extract probes from on-disk traces via the same SimPoint pipeline.
+
+    Every trace file under *trace_dir* (see
+    :func:`repro.workloads.ingest.discover_traces`; *trace_format* optionally
+    restricts to ``"champsim"`` or ``"gem5"``) contributes up to
+    *max_simpoints_per_trace* probes named ``"<file stem>/spNN"`` — the file
+    stem plays the role the benchmark name plays for synthetic probes.  The
+    interval size is clamped to the trace length so short traces still yield
+    at least one probe.
+    """
+    probes: list[Probe] = []
+    for index, ingested in enumerate(discover_traces(trace_dir, trace_format)):
+        uops = ingested.decoded.uops
+        selection = select_simpoints_from_uops(
+            uops,
+            benchmark=ingested.name,
+            num_blocks=ingested.num_blocks,
+            interval_size=min(interval_size, len(uops)),
+            max_simpoints=max_simpoints_per_trace,
+            seed=seed + index,
+        )
+        probes.extend(Probe(simpoint=sp) for sp in selection)
+    return probes
+
+
+class ProbeSource:
+    """Uniform ``build() -> list[Probe]`` interface over probe provenance."""
+
+    def build(self) -> list[Probe]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SyntheticProbeSource(ProbeSource):
+    """Probes profiled from the in-process synthetic SPEC-like workloads."""
+
+    benchmarks: tuple[str, ...]
+    instructions_per_benchmark: int
+    interval_size: int
+    max_simpoints_per_benchmark: int = 8
+    seed: int = 0
+
+    def build(self) -> list[Probe]:
+        return build_probes(
+            list(self.benchmarks),
+            instructions_per_benchmark=self.instructions_per_benchmark,
+            interval_size=self.interval_size,
+            max_simpoints_per_benchmark=self.max_simpoints_per_benchmark,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class IngestedProbeSource(ProbeSource):
+    """Probes extracted from on-disk ChampSim/gem5-style traces."""
+
+    trace_dir: str
+    trace_format: str | None = None
+    interval_size: int = 3_000
+    max_simpoints_per_trace: int = 8
+    seed: int = 0
+
+    def build(self) -> list[Probe]:
+        return build_ingested_probes(
+            self.trace_dir,
+            trace_format=self.trace_format,
+            interval_size=self.interval_size,
+            max_simpoints_per_trace=self.max_simpoints_per_trace,
+            seed=self.seed,
+        )

@@ -19,7 +19,11 @@ from ..bugs.memory_bugs import memory_bug_suite
 from ..bugs.registry import core_bug_suite
 from ..detect.dataset import MemorySimulationCache, SimulationCache
 from ..detect.detector import DetectionSetup
-from ..detect.probe import Probe, build_probes
+from ..detect.probe import (
+    IngestedProbeSource,
+    Probe,
+    SyntheticProbeSource,
+)
 from ..detect.stage1 import ProbeModelConfig
 from ..runtime import JobEngine, ResultStore, default_jobs
 from ..uarch.memory_presets import memory_set
@@ -202,6 +206,14 @@ class ExperimentContext:
         repeated runs against the same store never re-simulate.
     progress:
         Optional ``callback(done, total)`` forwarded to the job engine.
+    trace_dir:
+        Optional directory of on-disk traces (ChampSim/gem5-style, see
+        ``docs/TRACES.md``).  When given, the context's probes are extracted
+        from those traces instead of from synthetic workloads; everything
+        else (caches, engine, store keys) is unchanged.
+    trace_format:
+        Optional format restriction for *trace_dir* (``"champsim"`` /
+        ``"gem5"``; default: ingest every recognised trace file).
     """
 
     def __init__(
@@ -210,8 +222,12 @@ class ExperimentContext:
         jobs: int | None = None,
         store_path: str | None = None,
         progress: Callable[[int, int], None] | None = None,
+        trace_dir: str | None = None,
+        trace_format: str | None = None,
     ) -> None:
         self.scale = get_scale(scale)
+        self.trace_dir = trace_dir
+        self.trace_format = trace_format
         self._probes: list[Probe] | None = None
         self._memory_probes: list[Probe] | None = None
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -239,27 +255,53 @@ class ExperimentContext:
     # -- probes ----------------------------------------------------------------
 
     @property
-    def probes(self) -> list[Probe]:
-        if self._probes is None:
-            self._probes = build_probes(
-                list(self.scale.benchmarks),
-                instructions_per_benchmark=self.scale.instructions_per_benchmark,
+    def probe_source(self):
+        """Where this context's core-study probes come from."""
+        if self.trace_dir is not None:
+            return IngestedProbeSource(
+                trace_dir=self.trace_dir,
+                trace_format=self.trace_format,
                 interval_size=self.scale.interval_size,
-                max_simpoints_per_benchmark=self.scale.max_simpoints,
+                max_simpoints_per_trace=self.scale.max_simpoints,
                 seed=self.scale.seed,
             )
+        return SyntheticProbeSource(
+            benchmarks=tuple(self.scale.benchmarks),
+            instructions_per_benchmark=self.scale.instructions_per_benchmark,
+            interval_size=self.scale.interval_size,
+            max_simpoints_per_benchmark=self.scale.max_simpoints,
+            seed=self.scale.seed,
+        )
+
+    @property
+    def memory_probe_source(self):
+        """Where this context's memory-study probes come from."""
+        if self.trace_dir is not None:
+            return IngestedProbeSource(
+                trace_dir=self.trace_dir,
+                trace_format=self.trace_format,
+                interval_size=self.scale.memory_instructions // 3,
+                max_simpoints_per_trace=3,
+                seed=self.scale.seed + 100,
+            )
+        return SyntheticProbeSource(
+            benchmarks=tuple(self.scale.memory_benchmarks),
+            instructions_per_benchmark=self.scale.memory_instructions,
+            interval_size=self.scale.memory_instructions // 3,
+            max_simpoints_per_benchmark=3,
+            seed=self.scale.seed + 100,
+        )
+
+    @property
+    def probes(self) -> list[Probe]:
+        if self._probes is None:
+            self._probes = self.probe_source.build()
         return self._probes
 
     @property
     def memory_probes(self) -> list[Probe]:
         if self._memory_probes is None:
-            self._memory_probes = build_probes(
-                list(self.scale.memory_benchmarks),
-                instructions_per_benchmark=self.scale.memory_instructions,
-                interval_size=self.scale.memory_instructions // 3,
-                max_simpoints_per_benchmark=3,
-                seed=self.scale.seed + 100,
-            )
+            self._memory_probes = self.memory_probe_source.build()
         return self._memory_probes
 
     # -- design sets --------------------------------------------------------------

@@ -23,9 +23,15 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
     context = context or ExperimentContext(get_scale(scale))
     skylake = core_microarch("Skylake")
     bug = figure1_bug1()
-    probes = [p for p in context.probes if p.benchmark == "403.gcc"]
-    if not probes:
-        raise RuntimeError("the scale's benchmark list must include 403.gcc")
+    if not context.probes:
+        raise RuntimeError("no probes available for figure 3")
+    # The paper's running example is 403.gcc; every synthetic scale includes
+    # it.  Ingested trace directories may not, so fall back to the first
+    # benchmark present rather than refusing to run on external workloads.
+    benchmark = "403.gcc"
+    if not any(p.benchmark == benchmark for p in context.probes):
+        benchmark = context.probes[0].benchmark
+    probes = [p for p in context.probes if p.benchmark == benchmark]
 
     context.cache.warm(
         (probe, skylake, b) for probe in probes for b in (None, bug)
@@ -55,7 +61,7 @@ def run(scale: str = "smoke", context: ExperimentContext | None = None) -> Exper
     worst = min((row["Bug 1 / bug-free"] for row in rows), default=1.0)
     rows.append(
         {
-            "SimPoint": "403.gcc (whole program)",
+            "SimPoint": f"{benchmark} (whole program)",
             "xor fraction": float(
                 np.mean([row["xor fraction"] for row in rows]) if rows else 0.0
             ),

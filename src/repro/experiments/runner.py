@@ -9,8 +9,11 @@ Usage::
 ``--jobs N`` shards the underlying simulations across N worker processes;
 ``--store PATH`` persists every simulated counter series keyed by content
 hash, so a repeat invocation (same scale/experiments) performs zero new
-simulations.  The installed ``repro-experiments`` console script is an alias
-for this module.
+simulations.  ``--trace-dir DIR [--trace-format champsim|gem5]`` swaps the
+synthetic workloads for on-disk traces (see ``docs/TRACES.md``): probes are
+SimPoint-extracted from the ingested streams and flow through the same
+engine, store and detection path.  The installed ``repro-experiments``
+console script is an alias for this module.
 """
 
 from __future__ import annotations
@@ -64,10 +67,12 @@ def run_all(
     context: ExperimentContext | None = None,
     jobs: int | None = None,
     store: str | None = None,
+    trace_dir: str | None = None,
+    trace_format: str | None = None,
 ) -> list[ExperimentResult]:
     """Run the selected experiments, sharing one context, and return results.
 
-    *jobs* and *store* configure the simulation runtime of the implicitly
+    *jobs*, *store*, *trace_dir* and *trace_format* configure the implicitly
     created context (see :class:`ExperimentContext`); they are ignored when
     an explicit *context* is passed.
     """
@@ -75,7 +80,10 @@ def run_all(
     unknown = set(only or []) - set(EXPERIMENTS)
     if unknown:
         raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
-    context = context or ExperimentContext(get_scale(scale), jobs=jobs, store_path=store)
+    context = context or ExperimentContext(
+        get_scale(scale), jobs=jobs, store_path=store,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
     results = []
     for experiment_id in chosen:
         results.append(EXPERIMENTS[experiment_id](scale=scale, context=context))
@@ -95,15 +103,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--store", default=None,
                         help="directory of a persistent simulation result store; "
                              "repeat runs against it never re-simulate")
+    parser.add_argument("--trace-dir", default=None,
+                        help="directory of on-disk traces; probes are extracted "
+                             "from these instead of from synthetic workloads")
+    parser.add_argument("--trace-format", default=None,
+                        choices=["champsim", "gem5"],
+                        help="restrict --trace-dir ingestion to one format "
+                             "(default: every recognised trace file)")
     args = parser.parse_args(argv)
+    if args.trace_format is not None and args.trace_dir is None:
+        parser.error("--trace-format requires --trace-dir")
 
     start = time.time()
     context = ExperimentContext(
-        get_scale(args.scale), jobs=args.jobs, store_path=args.store
+        get_scale(args.scale), jobs=args.jobs, store_path=args.store,
+        trace_dir=args.trace_dir, trace_format=args.trace_format,
     )
     results = run_all(scale=args.scale, only=args.only, context=context)
     report = "\n\n".join(result.to_text() for result in results)
     report += f"\n\nTotal runtime: {time.time() - start:.1f}s at scale '{args.scale}'\n"
+    if args.trace_dir is not None:
+        # Report only probe sets the experiments actually built — forcing a
+        # build here would run SimPoint extraction just to print a count.
+        built = [
+            f"{label}={len(probes)}"
+            for label, probes in (
+                ("probes", context._probes),
+                ("memory_probes", context._memory_probes),
+            )
+            if probes is not None
+        ]
+        report += (
+            f"[workloads] source=ingested trace_dir={args.trace_dir} "
+            f"format={args.trace_format or 'auto'} {' '.join(built) or 'probes=0'}\n"
+        )
     stats = context.engine.stats
     report += (
         f"[runtime] jobs={context.engine.jobs} simulations={stats.jobs} "

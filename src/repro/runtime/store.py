@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,6 +29,15 @@ from .job import CORE_STUDY, MEMORY_STUDY
 
 #: Prefix namespacing counter arrays inside the ``.npz`` payload.
 _COUNTER_PREFIX = "counter::"
+
+#: Shape of the temp files ``put`` writes: ``<key>.tmp<pid>``.
+_TMP_PATTERN = re.compile(r"\.tmp\d+$")
+
+#: Minimum age before an orphaned temp file is considered stale.  Writes
+#: take well under a second, so anything this old belongs to a crashed
+#: writer; younger temp files may belong to a live writer in another
+#: process sharing the store and must not be touched.
+_STALE_TMP_SECONDS = 3600.0
 
 
 @dataclass
@@ -113,6 +124,7 @@ class StoreStats:
     puts: int = 0
     corrupt: int = 0
     evicted: int = 0
+    tmp_swept: int = 0
 
 
 class ResultStore:
@@ -135,20 +147,57 @@ class ResultStore:
         self.path.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.stats = StoreStats()
+        #: Directory scans performed (observable for the O(N²)-put regression
+        #: test: a warm store must not re-glob the directory on every write).
+        self.scans = 0
+        # One initial pass does double duty: count the existing entries (the
+        # incremental counter that replaces per-put globbing) and sweep stale
+        # ``<key>.tmp<pid>`` files left behind by crashed writers — nothing
+        # else ever looks at non-``.npz`` names, so without this sweep they
+        # would leak forever.  Only files older than _STALE_TMP_SECONDS are
+        # removed: a young temp file may belong to a live writer in another
+        # process sharing this store directory.
+        self._count = 0
+        self.scans += 1
+        stale_before = time.time() - _STALE_TMP_SECONDS
+        for child in self.path.iterdir():
+            name = child.name
+            if name.endswith(".npz"):
+                self._count += 1
+            elif _TMP_PATTERN.search(name):
+                try:
+                    if child.stat().st_mtime < stale_before:
+                        child.unlink()
+                        self.stats.tmp_swept += 1
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
 
     # -- helpers ---------------------------------------------------------------
 
     def _entry_path(self, key: str) -> Path:
         return self.path / f"{key}.npz"
 
+    def _rescan(self) -> list[Path]:
+        """Authoritative entry listing; resyncs the incremental count."""
+        self.scans += 1
+        entries = list(self.path.glob("*.npz"))
+        self._count = len(entries)
+        return entries
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.path.glob("*.npz"))
+        """Entry count, tracked incrementally (no directory scan).
+
+        The count is resynced from disk whenever a corrupt entry is removed
+        or an eviction pass lists the directory, so it self-corrects after
+        external modification of the store directory.
+        """
+        return self._count
 
     def __contains__(self, key: str) -> bool:
         return self._entry_path(key).exists()
 
     def keys(self) -> list[str]:
-        return sorted(p.stem for p in self.path.glob("*.npz"))
+        return sorted(p.stem for p in self._rescan())
 
     # -- read ------------------------------------------------------------------
 
@@ -186,6 +235,10 @@ class ResultStore:
                 entry.unlink()
             except OSError:
                 pass
+            # A corrupt entry means something outside this object touched the
+            # directory (killed writer, external copy); resync the count from
+            # disk rather than guessing.
+            self._rescan()
             return None
         self.stats.hits += 1
         return result
@@ -211,6 +264,7 @@ class ResultStore:
         try:
             with open(tmp, "wb") as handle:
                 np.savez(handle, meta=np.array(meta), ipc=np.asarray(result.ipc), **arrays)
+            existed = entry.exists()
             os.replace(tmp, entry)
         finally:
             if tmp.exists():  # pragma: no cover - only on write failure
@@ -218,20 +272,38 @@ class ResultStore:
                     tmp.unlink()
                 except OSError:
                     pass
+        if not existed:
+            self._count += 1
         self.stats.puts += 1
         if self.max_entries is not None:
-            self._evict()
+            self._evict(fresh=entry)
 
-    def _evict(self) -> None:
-        entries = sorted(
-            self.path.glob("*.npz"), key=lambda p: (p.stat().st_mtime, p.name)
-        )
-        excess = len(entries) - self.max_entries
+    def _evict(self, fresh: Path | None = None) -> None:
+        """Drop the oldest entries once the soft capacity is exceeded.
+
+        *fresh* is the entry the current ``put`` just wrote.  It is excluded
+        from the victim set: on filesystems with coarse mtime resolution the
+        fresh file can tie with much older entries, and its hex name would
+        then decide the order — evicting the very entry the caller is about
+        to rely on.
+
+        The capacity check runs against the incrementally tracked count, so
+        a store below capacity never scans the directory on ``put``.
+        """
+        if self._count <= self.max_entries:
+            return
+        entries = self._rescan()
+        excess = self._count - self.max_entries
         if excess <= 0:
             return
-        for victim in entries[:excess]:
+        victims = sorted(
+            (p for p in entries if p != fresh),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        for victim in victims[:excess]:
             try:
                 victim.unlink()
                 self.stats.evicted += 1
+                self._count -= 1
             except OSError:  # pragma: no cover - concurrent eviction
                 pass

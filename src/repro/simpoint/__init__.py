@@ -8,7 +8,13 @@ synthetic SPEC-like workloads.
 
 from .bbv import basic_block_vector, bbv_matrix, project_bbvs
 from .kmeans import KMeansResult, bic_score, choose_k, kmeans
-from .simpoint import SimPoint, SimPointSelection, select_simpoints, weighted_average
+from .simpoint import (
+    SimPoint,
+    SimPointSelection,
+    select_simpoints,
+    select_simpoints_from_uops,
+    weighted_average,
+)
 
 __all__ = [
     "basic_block_vector",
@@ -21,5 +27,6 @@ __all__ = [
     "SimPoint",
     "SimPointSelection",
     "select_simpoints",
+    "select_simpoints_from_uops",
     "weighted_average",
 ]

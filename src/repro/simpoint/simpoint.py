@@ -72,6 +72,78 @@ class SimPointSelection:
         return sum(sp.weight for sp in self.simpoints)
 
 
+def select_simpoints_from_uops(
+    trace: list[MicroOp],
+    benchmark: str,
+    num_blocks: int,
+    interval_size: int,
+    max_simpoints: int = 30,
+    projection_dims: int = 15,
+    seed: int = 0,
+) -> SimPointSelection:
+    """Run the SimPoint pipeline on an already-materialised dynamic trace.
+
+    This is the generic back half of :func:`select_simpoints` — interval
+    splitting, BBV profiling, projection, BIC-selected k-means and
+    representative picking — usable for any micro-op stream: synthetic
+    profiling traces and on-disk traces ingested by
+    :mod:`repro.workloads.ingest` alike.
+
+    Parameters
+    ----------
+    trace:
+        The dynamic instruction stream to profile; every micro-op must carry
+        a ``block_id`` in ``[0, num_blocks)`` (ingestion derives these from
+        control-flow boundaries when the file does not provide them).
+    benchmark:
+        Name stamped on the resulting SimPoints (``"<benchmark>/spNN"``).
+    num_blocks:
+        Static basic-block count of the workload (the BBV dimension).
+    interval_size, max_simpoints, projection_dims, seed:
+        As in :func:`select_simpoints`.
+    """
+    intervals = split_into_intervals(trace, interval_size)
+    if not intervals:
+        raise ValueError(
+            "trace too short to form a single interval; "
+            f"got {len(trace)} instructions for interval_size={interval_size}"
+        )
+
+    bbvs = bbv_matrix(intervals, num_blocks)
+    projected = project_bbvs(bbvs, projection_dims, seed=seed)
+    clustering = choose_k(projected, max_k=min(max_simpoints, len(intervals)),
+                          seed=seed)
+
+    simpoints: list[SimPoint] = []
+    n_intervals = len(intervals)
+    for cluster_id in range(clustering.k):
+        member_indices = np.flatnonzero(clustering.labels == cluster_id)
+        if len(member_indices) == 0:
+            continue
+        centroid = clustering.centroids[cluster_id]
+        member_points = projected[member_indices]
+        distances = np.sum((member_points - centroid) ** 2, axis=1)
+        representative = int(member_indices[int(np.argmin(distances))])
+        weight = len(member_indices) / n_intervals
+        simpoints.append(
+            SimPoint(
+                benchmark=benchmark,
+                index=len(simpoints) + 1,
+                interval_index=representative,
+                weight=weight,
+                trace=list(intervals[representative]),
+                bbv=bbvs[representative].copy(),
+            )
+        )
+
+    return SimPointSelection(
+        benchmark=benchmark,
+        simpoints=simpoints,
+        clustering=clustering,
+        interval_size=interval_size,
+    )
+
+
 def select_simpoints(
     program: SyntheticProgram,
     total_instructions: int,
@@ -99,45 +171,14 @@ def select_simpoints(
     """
     generator = TraceGenerator(program, seed=seed)
     trace = generator.generate(total_instructions)
-    intervals = split_into_intervals(trace, interval_size)
-    if not intervals:
-        raise ValueError(
-            "trace too short to form a single interval; "
-            f"got {len(trace)} instructions for interval_size={interval_size}"
-        )
-
-    bbvs = bbv_matrix(intervals, program.num_blocks)
-    projected = project_bbvs(bbvs, projection_dims, seed=seed)
-    clustering = choose_k(projected, max_k=min(max_simpoints, len(intervals)),
-                          seed=seed)
-
-    simpoints: list[SimPoint] = []
-    n_intervals = len(intervals)
-    for cluster_id in range(clustering.k):
-        member_indices = np.flatnonzero(clustering.labels == cluster_id)
-        if len(member_indices) == 0:
-            continue
-        centroid = clustering.centroids[cluster_id]
-        member_points = projected[member_indices]
-        distances = np.sum((member_points - centroid) ** 2, axis=1)
-        representative = int(member_indices[int(np.argmin(distances))])
-        weight = len(member_indices) / n_intervals
-        simpoints.append(
-            SimPoint(
-                benchmark=program.name,
-                index=len(simpoints) + 1,
-                interval_index=representative,
-                weight=weight,
-                trace=list(intervals[representative]),
-                bbv=bbvs[representative].copy(),
-            )
-        )
-
-    return SimPointSelection(
+    return select_simpoints_from_uops(
+        trace,
         benchmark=program.name,
-        simpoints=simpoints,
-        clustering=clustering,
+        num_blocks=program.num_blocks,
         interval_size=interval_size,
+        max_simpoints=max_simpoints,
+        projection_dims=projection_dims,
+        seed=seed,
     )
 
 

@@ -7,6 +7,19 @@ trace capture used in the paper.
 """
 
 from .decoded import DecodedTrace, as_uops, decode_trace
+from .ingest import (
+    TRACE_FORMATS,
+    IngestedTrace,
+    TraceFormat,
+    TraceIngestError,
+    discover_traces,
+    ingest_trace,
+    read_champsim,
+    read_gem5,
+    trace_format,
+    write_champsim,
+    write_gem5,
+)
 from .isa import (
     NUM_ARCH_REGS,
     NUM_FP_REGS,
@@ -25,6 +38,17 @@ __all__ = [
     "DecodedTrace",
     "decode_trace",
     "as_uops",
+    "TRACE_FORMATS",
+    "IngestedTrace",
+    "TraceFormat",
+    "TraceIngestError",
+    "discover_traces",
+    "ingest_trace",
+    "trace_format",
+    "read_champsim",
+    "read_gem5",
+    "write_champsim",
+    "write_gem5",
     "MicroOp",
     "OpClass",
     "Opcode",

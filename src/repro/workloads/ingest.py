@@ -1,0 +1,595 @@
+"""On-disk trace ingestion: ChampSim-style binary and gem5-ish textual traces.
+
+The paper's methodology runs SimPoint-selected probes of SPEC CPU2006 traces
+captured with gem5/ChampSim.  This module is the "real workload" entry point
+of the reproduction: it reads compressed on-disk instruction traces, maps the
+external records onto the internal :class:`~repro.workloads.isa.MicroOp`
+vocabulary and hands the result to the rest of the system as an ordinary
+:class:`~repro.workloads.decoded.DecodedTrace` — same content digests, same
+compact numpy-column worker shipping, same result-store keys as synthetic
+traces.  Nothing downstream (SimPoint extraction, the job engine, the
+detection pipeline) knows or cares that a trace came from disk.
+
+Two formats are supported (full byte-level / grammar documentation lives in
+``docs/TRACES.md``):
+
+``champsim``
+    Fixed 64-byte little-endian records mirroring ChampSim's ``input_instr``
+    struct: instruction pointer, branch flag + outcome, two destination and
+    four source register bytes, two destination and four source memory
+    addresses.  ChampSim records carry no opcode, so the mapping is lossy by
+    design: branch records become ``BRANCH``, records with a source (resp.
+    destination) memory address become ``LOAD`` (resp. ``STORE``), and every
+    other record gets a *static* ALU/FP opcode chosen deterministically from
+    its instruction pointer — the same ``ip`` always decodes to the same
+    opcode, like a real static instruction.  Branch targets are reconstructed
+    from the following record's instruction pointer.
+
+``gem5``
+    A line-oriented textual format in the spirit of gem5's exec trace:
+    ``<seq> <pc-hex> <mnemonic> [KEY=value ...]`` with mnemonics naming
+    :class:`~repro.workloads.isa.Opcode` members.  This format is
+    full-fidelity: every ``MicroOp`` field round-trips exactly.
+
+Both formats may be stored raw, gzip-framed or xz-framed; compression is
+detected from the file's magic bytes, never from its name.  Basic blocks
+(needed for BBV/SimPoint profiling) are re-derived from the dynamic stream —
+a new block starts at the first instruction and after every control-flow
+instruction, keyed by its leader's address — unless the file itself carries
+block ids (gem5 ``B=``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import lzma
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from .decoded import DecodedTrace
+from .isa import (
+    DEFAULT_INSTR_BYTES,
+    NUM_ARCH_REGS,
+    MicroOp,
+    Opcode,
+    is_branch,
+    is_memory,
+)
+
+
+class TraceIngestError(ValueError):
+    """A trace file could not be ingested (truncated, corrupt or malformed)."""
+
+
+# -- compression framing -------------------------------------------------------
+
+_GZIP_MAGIC = b"\x1f\x8b"
+_XZ_MAGIC = b"\xfd7zXZ\x00"
+
+
+def _read_payload(path: Path) -> bytes:
+    """Read *path* fully, transparently unframing gzip/xz by magic bytes."""
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise TraceIngestError(f"{path}: cannot read trace file: {exc}") from exc
+    try:
+        if raw.startswith(_GZIP_MAGIC):
+            return gzip.decompress(raw)
+        if raw.startswith(_XZ_MAGIC):
+            return lzma.decompress(raw)
+    except (OSError, EOFError, lzma.LZMAError, gzip.BadGzipFile, zlib.error) as exc:
+        raise TraceIngestError(f"{path}: corrupt compressed trace: {exc}") from exc
+    return raw
+
+
+def _write_payload(path: Path, payload: bytes) -> None:
+    """Write *payload* to *path*, compressing according to the file suffix."""
+    suffix = path.suffix
+    if suffix == ".gz":
+        payload = gzip.compress(payload, mtime=0)
+    elif suffix == ".xz":
+        payload = lzma.compress(payload)
+    path.write_bytes(payload)
+
+
+# -- basic-block derivation ----------------------------------------------------
+
+
+def assign_blocks(uops: Sequence[MicroOp]) -> int:
+    """Assign dense ``block_id`` values to *uops* in place; returns the count.
+
+    A basic block starts at the first instruction of the stream and after
+    every control-flow instruction; blocks are keyed by their leader's
+    address, so re-executions of the same code map onto the same id — which
+    is exactly the property basic-block-vector profiling needs.
+    """
+    leaders: dict[int, int] = {}
+    block_id = -1
+    at_leader = True
+    for uop in uops:
+        if at_leader:
+            block_id = leaders.setdefault(uop.pc, len(leaders))
+            at_leader = False
+        uop.block_id = block_id
+        if uop.is_branch:
+            at_leader = True
+    return len(leaders)
+
+
+# -- ChampSim-style binary format ----------------------------------------------
+
+#: ChampSim ``input_instr``: ip u64; is_branch, branch_taken u8;
+#: destination_registers u8[2]; source_registers u8[4];
+#: destination_memory u64[2]; source_memory u64[4].  Little-endian, 64 bytes.
+CHAMPSIM_RECORD = struct.Struct("<Q8B6Q")
+
+#: Static opcodes assigned to non-memory, non-branch ChampSim records,
+#: selected by ``(ip >> 2) % len`` so each static instruction keeps a stable
+#: opcode while the stream still exercises every functional-unit class.
+CHAMPSIM_ALU_OPCODES = (
+    Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR,
+    Opcode.SHIFT, Opcode.CMP, Opcode.MOV, Opcode.POPCNT, Opcode.MUL,
+    Opcode.DIV, Opcode.FADD, Opcode.FMUL,
+)
+
+
+def _map_register(reg: int) -> int:
+    """Map a ChampSim register byte (1-255; 0 = none) onto the synthetic ISA."""
+    return (reg - 1) % NUM_ARCH_REGS
+
+
+def read_champsim(path: str | Path) -> list[MicroOp]:
+    """Ingest a ChampSim-style binary trace into a micro-op list."""
+    path = Path(path)
+    payload = _read_payload(path)
+    if not payload:
+        raise TraceIngestError(f"{path}: empty trace")
+    record_size = CHAMPSIM_RECORD.size
+    if len(payload) % record_size:
+        raise TraceIngestError(
+            f"{path}: truncated ChampSim trace: {len(payload)} bytes is not a "
+            f"multiple of the {record_size}-byte record size"
+        )
+    num_alu = len(CHAMPSIM_ALU_OPCODES)
+    uops: list[MicroOp] = []
+    records = list(CHAMPSIM_RECORD.iter_unpack(payload))
+    for index, record in enumerate(records):
+        ip, branch_flag, branch_taken = record[0], record[1], record[2]
+        dest_regs = record[3:5]
+        src_regs = record[5:9]
+        dest_mem = record[9:11]
+        src_mem = record[11:15]
+        srcs = tuple(_map_register(r) for r in src_regs if r)
+        dest = _map_register(dest_regs[0]) if dest_regs[0] else None
+        address = None
+        taken = None
+        target = None
+        if branch_flag:
+            opcode = Opcode.BRANCH
+            taken = bool(branch_taken)
+            dest = None
+            if index + 1 < len(records):
+                next_ip = records[index + 1][0]
+            else:
+                next_ip = ip + DEFAULT_INSTR_BYTES
+            target = next_ip if taken else ip + DEFAULT_INSTR_BYTES
+        elif src_mem[0]:
+            opcode = Opcode.LOAD
+            address = src_mem[0]
+            srcs = srcs[:1] or (0,)
+        elif dest_mem[0]:
+            opcode = Opcode.STORE
+            address = dest_mem[0]
+            dest = None
+        else:
+            opcode = CHAMPSIM_ALU_OPCODES[(ip >> 2) % num_alu]
+            if dest is None:
+                dest = (ip >> 2) % NUM_ARCH_REGS
+        uops.append(
+            MicroOp(
+                opcode=opcode,
+                srcs=srcs,
+                dest=dest,
+                pc=ip,
+                address=address,
+                taken=taken,
+                target=target,
+            )
+        )
+    assign_blocks(uops)
+    return uops
+
+
+def write_champsim(path: str | Path, uops: Iterable[MicroOp]) -> int:
+    """Write *uops* as a ChampSim-style binary trace; returns records written.
+
+    The encoding is lossy in exactly the ways ingestion is: opcodes collapse
+    to branch / load / store / "other" (re-ingestion re-derives a static ALU
+    opcode from the instruction pointer), and registers are stored offset by
+    one because register 0 means "none" in ChampSim records.
+    """
+    path = Path(path)
+    chunks: list[bytes] = []
+    for uop in uops:
+        dest_regs = [0, 0]
+        src_regs = [0, 0, 0, 0]
+        dest_mem = [0, 0]
+        src_mem = [0, 0, 0, 0]
+        if uop.dest is not None and not uop.is_store:
+            dest_regs[0] = (uop.dest % NUM_ARCH_REGS) + 1
+        for slot, src in enumerate(uop.srcs[:4]):
+            src_regs[slot] = (src % NUM_ARCH_REGS) + 1
+        if uop.is_load and uop.address is not None:
+            src_mem[0] = uop.address
+        elif uop.is_store and uop.address is not None:
+            dest_mem[0] = uop.address
+        chunks.append(
+            CHAMPSIM_RECORD.pack(
+                uop.pc,
+                1 if uop.is_branch else 0,
+                1 if (uop.is_branch and uop.taken) else 0,
+                *dest_regs,
+                *src_regs,
+                *dest_mem,
+                *src_mem,
+            )
+        )
+    _write_payload(path, b"".join(chunks))
+    return len(chunks)
+
+
+# -- gem5-ish textual format ---------------------------------------------------
+
+_GEM5_MNEMONICS = {opcode.name.lower(): opcode for opcode in Opcode}
+
+
+def read_gem5(path: str | Path) -> list[MicroOp]:
+    """Ingest a gem5-ish textual trace into a micro-op list."""
+    path = Path(path)
+    payload = _read_payload(path)
+    if not payload.strip():
+        raise TraceIngestError(f"{path}: empty trace")
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceIngestError(f"{path}: not a textual trace: {exc}") from exc
+    uops: list[MicroOp] = []
+    saw_block = False
+    missing_block_line: int | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise TraceIngestError(
+                f"{path}:{lineno}: expected '<seq> <pc> <mnemonic> [KEY=value ...]', "
+                f"got {line!r}"
+            )
+        _, pc_text, mnemonic = parts[0], parts[1], parts[2]
+        opcode = _GEM5_MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise TraceIngestError(
+                f"{path}:{lineno}: unknown mnemonic {mnemonic!r}"
+            )
+        fields = {}
+        for token in parts[3:]:
+            key, sep, value = token.partition("=")
+            if not sep or key not in ("D", "S", "A", "TK", "T", "I", "SZ", "B"):
+                raise TraceIngestError(
+                    f"{path}:{lineno}: malformed field {token!r}"
+                )
+            fields[key] = value
+        try:
+            pc = int(pc_text, 16)
+            srcs = tuple(
+                int(s) for s in fields["S"].split(",") if s
+            ) if "S" in fields else ()
+            dest = int(fields["D"]) if "D" in fields else None
+            address = int(fields["A"], 16) if "A" in fields else None
+            taken = bool(int(fields["TK"])) if "TK" in fields else None
+            target = int(fields["T"], 16) if "T" in fields else None
+            indirect = bool(int(fields["I"])) if "I" in fields else False
+            size = int(fields["SZ"]) if "SZ" in fields else DEFAULT_INSTR_BYTES
+            block_id = int(fields["B"]) if "B" in fields else -1
+        except ValueError as exc:
+            raise TraceIngestError(f"{path}:{lineno}: {exc}") from exc
+        if is_memory(opcode) and address is None:
+            raise TraceIngestError(
+                f"{path}:{lineno}: memory op {mnemonic!r} lacks an A= address"
+            )
+        if is_branch(opcode) and taken is None:
+            raise TraceIngestError(
+                f"{path}:{lineno}: branch {mnemonic!r} lacks a TK= outcome"
+            )
+        if "B" in fields:
+            saw_block = True
+        elif missing_block_line is None:
+            missing_block_line = lineno
+        uops.append(
+            MicroOp(
+                opcode=opcode,
+                srcs=srcs,
+                dest=dest,
+                pc=pc,
+                address=address,
+                taken=taken,
+                target=target,
+                indirect=indirect,
+                size=size,
+                block_id=block_id,
+            )
+        )
+    if saw_block and missing_block_line is not None:
+        # Mixed B= usage would leave the B-less lines at block_id=-1 and
+        # silently drop them from every basic-block vector; refuse instead.
+        raise TraceIngestError(
+            f"{path}:{missing_block_line}: line lacks B= but other lines "
+            "carry it; supply B= on every line or on none"
+        )
+    if not saw_block:
+        assign_blocks(uops)
+    return uops
+
+
+def write_gem5(path: str | Path, uops: Iterable[MicroOp]) -> int:
+    """Write *uops* as a gem5-ish textual trace (full fidelity)."""
+    path = Path(path)
+    lines = ["# gem5-ish trace: <seq> <pc-hex> <mnemonic> [KEY=value ...]"]
+    count = 0
+    for seq, uop in enumerate(uops):
+        parts = [str(seq), f"0x{uop.pc:x}", uop.opcode.name.lower()]
+        if uop.dest is not None:
+            parts.append(f"D={uop.dest}")
+        if uop.srcs:
+            parts.append("S=" + ",".join(str(s) for s in uop.srcs))
+        if uop.address is not None:
+            parts.append(f"A=0x{uop.address:x}")
+        if uop.taken is not None:
+            parts.append(f"TK={int(uop.taken)}")
+        if uop.target is not None:
+            parts.append(f"T=0x{uop.target:x}")
+        if uop.indirect:
+            parts.append("I=1")
+        if uop.size != DEFAULT_INSTR_BYTES:
+            parts.append(f"SZ={uop.size}")
+        if uop.block_id >= 0:
+            parts.append(f"B={uop.block_id}")
+        lines.append(" ".join(parts))
+        count += 1
+    _write_payload(path, ("\n".join(lines) + "\n").encode("utf-8"))
+    return count
+
+
+# -- format registry and discovery ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceFormat:
+    """One supported on-disk trace format."""
+
+    name: str
+    suffixes: tuple[str, ...]
+    reader: Callable[[Path], list[MicroOp]]
+    writer: Callable[[Path, Iterable[MicroOp]], int]
+
+
+TRACE_FORMATS: dict[str, TraceFormat] = {
+    fmt.name: fmt
+    for fmt in (
+        TraceFormat(
+            name="champsim",
+            suffixes=(".champsim", ".champsim.gz", ".champsim.xz"),
+            reader=read_champsim,
+            writer=write_champsim,
+        ),
+        TraceFormat(
+            name="gem5",
+            suffixes=(".gem5", ".gem5.gz", ".gem5.xz"),
+            reader=read_gem5,
+            writer=write_gem5,
+        ),
+    )
+}
+
+
+def trace_format(name: str) -> TraceFormat:
+    """Resolve a format name, with a clear error for unknown ones."""
+    try:
+        return TRACE_FORMATS[name]
+    except KeyError:
+        raise TraceIngestError(
+            f"unknown trace format {name!r}; available: {sorted(TRACE_FORMATS)}"
+        ) from None
+
+
+def _match_format(path: Path) -> TraceFormat | None:
+    for fmt in TRACE_FORMATS.values():
+        if any(path.name.endswith(suffix) for suffix in fmt.suffixes):
+            return fmt
+    return None
+
+
+def _trace_name(path: Path, fmt: TraceFormat) -> str:
+    for suffix in fmt.suffixes:
+        if path.name.endswith(suffix):
+            return path.name[: -len(suffix)]
+    return path.stem  # pragma: no cover - discovery always matches a suffix
+
+
+class IngestedTrace:
+    """One on-disk trace, parsed and decoded lazily on first use.
+
+    The instruction stream is read and mapped exactly once, on first access
+    to :attr:`decoded`; until then the object is just a (name, path, format)
+    handle, so directories can be discovered and listed cheaply.  The decoded
+    form is a plain :class:`~repro.workloads.decoded.DecodedTrace`, which is
+    what :meth:`register` hands to a
+    :class:`~repro.runtime.job.TraceRegistry` — workers therefore receive
+    ingested traces as the same compact numpy columns as synthetic ones, and
+    the content digest (and thus every result-store key) depends only on the
+    mapped instruction stream, not on the file name, location or framing.
+    """
+
+    def __init__(self, path: str | Path, fmt: TraceFormat) -> None:
+        self.path = Path(path)
+        self.format = fmt
+        self.name = _trace_name(self.path, fmt)
+        self._decoded: DecodedTrace | None = None
+        self._num_blocks: int | None = None
+
+    @property
+    def decoded(self) -> DecodedTrace:
+        """The mapped instruction stream (file parsed on first access)."""
+        if self._decoded is None:
+            uops = self.format.reader(self.path)
+            self._num_blocks = max(u.block_id for u in uops) + 1 if uops else 0
+            self._decoded = DecodedTrace.from_uops(uops)
+        return self._decoded
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of derived basic blocks (dimension of the trace's BBVs)."""
+        self.decoded
+        return self._num_blocks  # type: ignore[return-value]
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the mapped stream (the runtime trace id)."""
+        return self.decoded.digest
+
+    def register(self, registry) -> str:
+        """Register the decoded trace with *registry*; returns the trace id."""
+        return registry.register(self.decoded)
+
+    def __len__(self) -> int:
+        return len(self.decoded)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<IngestedTrace {self.name} [{self.format.name}] at {self.path}>"
+
+
+def ingest_trace(path: str | Path, fmt: str | None = None) -> IngestedTrace:
+    """Wrap one trace file; *fmt* overrides suffix-based format detection."""
+    path = Path(path)
+    if fmt is not None:
+        resolved = trace_format(fmt)
+    else:
+        resolved = _match_format(path)
+        if resolved is None:
+            raise TraceIngestError(
+                f"{path}: cannot detect trace format from the file name; "
+                f"known suffixes: "
+                f"{sorted(s for f in TRACE_FORMATS.values() for s in f.suffixes)}"
+            )
+    return IngestedTrace(path, resolved)
+
+
+def discover_traces(
+    trace_dir: str | Path, fmt: str | None = None
+) -> list[IngestedTrace]:
+    """Find every ingestible trace under *trace_dir*, sorted by name.
+
+    *fmt* restricts discovery to one format (``"champsim"`` / ``"gem5"``);
+    ``None`` accepts every known suffix.  Raises :class:`TraceIngestError`
+    when the directory does not exist or holds no matching traces.
+    """
+    root = Path(trace_dir)
+    if not root.is_dir():
+        raise TraceIngestError(f"trace directory {root} does not exist")
+    formats = [trace_format(fmt)] if fmt is not None else list(TRACE_FORMATS.values())
+    found: list[IngestedTrace] = []
+    for path in sorted(root.iterdir()):
+        if not path.is_file():
+            continue
+        for candidate in formats:
+            if any(path.name.endswith(suffix) for suffix in candidate.suffixes):
+                found.append(IngestedTrace(path, candidate))
+                break
+    if not found:
+        wanted = sorted(s for f in formats for s in f.suffixes)
+        raise TraceIngestError(
+            f"no {'/'.join(f.name for f in formats)} traces under {root} "
+            f"(looked for {wanted})"
+        )
+    return found
+
+
+# -- inspection CLI (`repro-ingest`) -------------------------------------------
+
+
+def _class_mix(uops: Sequence[MicroOp]) -> str:
+    """Short ``class:percent`` summary of the functional-unit mix."""
+    from .isa import OPCODE_CLASS
+
+    counts: dict[str, int] = {}
+    for uop in uops:
+        name = OPCODE_CLASS[uop.opcode].name
+        counts[name] = counts.get(name, 0) + 1
+    total = max(1, len(uops))
+    top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:4]
+    return " ".join(f"{name}:{100 * count / total:.0f}%" for name, count in top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Inspect on-disk traces: formats, sizes, digests and probe extraction."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ingest",
+        description="Inspect ChampSim/gem5-style on-disk traces and "
+        "preview the SimPoint probes they would contribute.",
+    )
+    parser.add_argument("trace_dir", help="directory holding trace files")
+    parser.add_argument("--format", default=None, choices=sorted(TRACE_FORMATS),
+                        help="restrict to one trace format (default: all)")
+    parser.add_argument("--probes", action="store_true",
+                        help="additionally run SimPoint extraction per trace")
+    parser.add_argument("--interval-size", type=int, default=3_000,
+                        help="instructions per SimPoint interval (default 3000)")
+    parser.add_argument("--max-simpoints", type=int, default=8,
+                        help="probe cap per trace (default 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="SimPoint clustering seed (default 0)")
+    args = parser.parse_args(argv)
+
+    traces = discover_traces(args.trace_dir, args.format)
+    probes = []
+    if args.probes:
+        # One extraction pass over the directory, with the same discovery
+        # scope (and therefore the same per-trace seed offsets) as an
+        # experiment run using the same --format restriction.
+        from ..detect.probe import build_ingested_probes
+
+        probes = build_ingested_probes(
+            args.trace_dir,
+            trace_format=args.format,
+            interval_size=args.interval_size,
+            max_simpoints_per_trace=args.max_simpoints,
+            seed=args.seed,
+        )
+    for trace in traces:
+        size = trace.path.stat().st_size
+        uops = trace.decoded.uops
+        print(
+            f"{trace.name}  format={trace.format.name}  file={size}B  "
+            f"instructions={len(uops)}  blocks={trace.num_blocks}  "
+            f"digest={trace.digest}"
+        )
+        print(f"  mix: {_class_mix(uops)}")
+        for probe in probes:
+            if probe.benchmark != trace.name:
+                continue
+            print(
+                f"  probe {probe.name}: {len(probe.trace)} instrs, "
+                f"weight {probe.weight:.3f} "
+                f"(interval {probe.simpoint.interval_index})"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Regenerate the golden sample traces checked into ``tests/data/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/make_samples.py
+
+The outputs are deterministic (fixed workload seeds, gzip mtime pinned to
+zero) and are **golden**: tests and CI ingest the committed files and assert
+digest stability, so only regenerate them when the on-disk formats themselves
+change — and update `tests/test_ingest.py`'s pinned digests when you do.
+
+The files are named after SPEC CPU2006 benchmarks because the ingestion
+pipeline uses the file stem as the benchmark name; `403.gcc` in particular
+must exist for the Figure 3 experiment to run on ingested probes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.workloads import TraceGenerator, build_program, workload
+from repro.workloads.ingest import write_champsim, write_gem5
+
+DATA_DIR = Path(__file__).resolve().parent
+
+#: (file name, source benchmark, program seed, trace seed, instructions)
+SAMPLES = [
+    ("403.gcc.champsim.gz", "403.gcc", 21, 22, 9_600),
+    ("458.sjeng.champsim.xz", "458.sjeng", 31, 32, 9_600),
+    ("433.milc.gem5.gz", "433.milc", 41, 42, 9_600),
+]
+
+
+def main() -> None:
+    for name, benchmark, program_seed, trace_seed, instructions in SAMPLES:
+        program = build_program(workload(benchmark), seed=program_seed)
+        uops = TraceGenerator(program, seed=trace_seed).generate(instructions)
+        path = DATA_DIR / name
+        writer = write_champsim if ".champsim" in name else write_gem5
+        records = writer(path, uops)
+        print(f"{path.name}: {records} records, {path.stat().st_size} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,334 @@
+"""Tests for on-disk trace ingestion (repro.workloads.ingest)."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bugs.core_bugs import SerializeOpcode
+from repro.detect.probe import (
+    IngestedProbeSource,
+    build_ingested_probes,
+)
+from repro.detect.dataset import MemorySimulationCache, SimulationCache
+from repro.runtime import JobEngine, ResultStore, TraceRegistry, trace_digest
+from repro.uarch import core_microarch, memory_microarch
+from repro.workloads import TraceGenerator, build_program, workload
+from repro.workloads.ingest import (
+    TRACE_FORMATS,
+    TraceIngestError,
+    assign_blocks,
+    discover_traces,
+    ingest_trace,
+    main as ingest_main,
+    read_champsim,
+    read_gem5,
+    trace_format,
+    write_champsim,
+    write_gem5,
+)
+from repro.workloads.isa import Opcode
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Content digests of the golden sample traces.  These are the identities
+#: under which results are stored in every ResultStore, so they must be
+#: stable across sessions, machines and re-ingestions; regenerate via
+#: ``tests/data/make_samples.py`` ONLY on a deliberate format change.
+GOLDEN_DIGESTS = {
+    "403.gcc": "4e13d1f2ceaaff0ff158ddffdda06666",
+    "458.sjeng": "e7b6b5b84b67848b5f59301548673009",
+    "433.milc": "228405a845f8f3f429309c773fe9aa27",
+}
+
+
+@pytest.fixture(scope="module")
+def synth_uops():
+    program = build_program(workload("403.gcc"), seed=91)
+    return TraceGenerator(program, seed=92).generate(2000)
+
+
+class TestGoldenSamples:
+    def test_discovery_finds_all_formats(self):
+        traces = discover_traces(DATA_DIR)
+        assert [t.name for t in traces] == ["403.gcc", "433.milc", "458.sjeng"]
+        assert {t.format.name for t in traces} == {"champsim", "gem5"}
+
+    def test_format_filter(self):
+        champsim = discover_traces(DATA_DIR, "champsim")
+        assert [t.name for t in champsim] == ["403.gcc", "458.sjeng"]
+        gem5 = discover_traces(DATA_DIR, "gem5")
+        assert [t.name for t in gem5] == ["433.milc"]
+
+    def test_digests_are_pinned(self):
+        """Ingested content digests are the store identity — must not drift."""
+        for trace in discover_traces(DATA_DIR):
+            assert trace.digest == GOLDEN_DIGESTS[trace.name], trace.name
+
+    def test_lazy_parse_and_blocks(self):
+        trace = discover_traces(DATA_DIR, "champsim")[0]
+        assert trace._decoded is None  # nothing parsed at discovery time
+        uops = trace.decoded.uops
+        assert len(uops) > 9_000
+        assert trace.num_blocks >= 1
+        assert all(0 <= u.block_id < trace.num_blocks for u in uops)
+
+    def test_registry_registration_uses_content_digest(self):
+        trace = discover_traces(DATA_DIR, "gem5")[0]
+        registry = TraceRegistry()
+        trace_id = trace.register(registry)
+        assert trace_id == trace.digest
+        assert registry.traces[trace_id] is trace.decoded
+
+
+class TestChampsimFormat:
+    def test_reingest_is_digest_stable(self, tmp_path):
+        first = read_champsim(DATA_DIR / "403.gcc.champsim.gz")
+        for name in ("copy.champsim", "copy.champsim.gz", "copy.champsim.xz"):
+            write_champsim(tmp_path / name, first)
+            again = read_champsim(tmp_path / name)
+            assert trace_digest(again) == trace_digest(first), name
+
+    def test_mapping_covers_memory_and_branches(self):
+        uops = read_champsim(DATA_DIR / "403.gcc.champsim.gz")
+        opcodes = {u.opcode for u in uops}
+        assert Opcode.LOAD in opcodes and Opcode.STORE in opcodes
+        assert Opcode.BRANCH in opcodes
+        for u in uops:
+            if u.is_mem:
+                assert u.address is not None
+            if u.is_branch:
+                assert u.taken is not None and u.target is not None
+                assert u.dest is None
+            if u.is_store:
+                assert u.dest is None
+
+    def test_static_opcode_assignment_is_per_pc(self):
+        uops = read_champsim(DATA_DIR / "403.gcc.champsim.gz")
+        opcode_by_pc = {}
+        for u in uops:
+            assert opcode_by_pc.setdefault(u.pc, u.opcode) is u.opcode
+
+    def test_truncated_payload_raises(self, tmp_path):
+        path = tmp_path / "cut.champsim"
+        write_champsim(path, read_champsim(DATA_DIR / "403.gcc.champsim.gz")[:10])
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(TraceIngestError, match="truncated"):
+            read_champsim(path)
+
+    def test_corrupt_gzip_raises(self, tmp_path):
+        source = (DATA_DIR / "403.gcc.champsim.gz").read_bytes()
+        path = tmp_path / "bad.champsim.gz"
+        path.write_bytes(source[: len(source) // 2])
+        with pytest.raises(TraceIngestError, match="corrupt"):
+            read_champsim(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.champsim"
+        path.write_bytes(b"")
+        with pytest.raises(TraceIngestError, match="empty"):
+            read_champsim(path)
+
+
+class TestGem5Format:
+    def test_round_trip_is_full_fidelity(self, synth_uops, tmp_path):
+        for name in ("t.gem5", "t.gem5.gz", "t.gem5.xz"):
+            path = tmp_path / name
+            write_gem5(path, synth_uops)
+            again = read_gem5(path)
+            assert again == synth_uops, name
+            assert trace_digest(again) == trace_digest(synth_uops)
+
+    def test_blocks_derived_when_absent(self, synth_uops, tmp_path):
+        stripped = [
+            type(u)(opcode=u.opcode, srcs=u.srcs, dest=u.dest, pc=u.pc,
+                    address=u.address, taken=u.taken, target=u.target,
+                    indirect=u.indirect, size=u.size, block_id=-1)
+            for u in synth_uops
+        ]
+        path = tmp_path / "noblocks.gem5"
+        write_gem5(path, stripped)
+        again = read_gem5(path)
+        assert all(u.block_id >= 0 for u in again)
+        # Same leader pc -> same derived id, ids dense from zero.
+        ids = {u.block_id for u in again}
+        assert ids == set(range(len(ids)))
+
+    def test_unknown_mnemonic_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.gem5"
+        path.write_text("0 0x400000 add D=1 S=2,3\n1 0x400004 frobnicate\n")
+        with pytest.raises(TraceIngestError, match=r"bad\.gem5:2.*frobnicate"):
+            read_gem5(path)
+
+    def test_memory_op_requires_address(self, tmp_path):
+        path = tmp_path / "bad.gem5"
+        path.write_text("0 0x400000 load D=1 S=2\n")
+        with pytest.raises(TraceIngestError, match="lacks an A= address"):
+            read_gem5(path)
+
+    def test_branch_requires_outcome(self, tmp_path):
+        path = tmp_path / "bad.gem5"
+        path.write_text("0 0x400000 branch S=2\n")
+        with pytest.raises(TraceIngestError, match="lacks a TK= outcome"):
+            read_gem5(path)
+
+    def test_malformed_field_raises(self, tmp_path):
+        path = tmp_path / "bad.gem5"
+        path.write_text("0 0x400000 add D=1 WHAT=3\n")
+        with pytest.raises(TraceIngestError, match="malformed field"):
+            read_gem5(path)
+
+    def test_mixed_block_annotations_rejected(self, tmp_path):
+        """Mixed B= usage would silently drop B-less lines from every BBV."""
+        path = tmp_path / "mixed.gem5"
+        path.write_text("0 0x400000 add D=1 B=0\n1 0x400004 add D=2\n")
+        with pytest.raises(TraceIngestError, match=r"mixed\.gem5:2.*lacks B="):
+            read_gem5(path)
+
+
+class TestDiscoveryErrors:
+    def test_unknown_format_name(self):
+        with pytest.raises(TraceIngestError, match="unknown trace format"):
+            trace_format("gem6")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TraceIngestError, match="does not exist"):
+            discover_traces(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(TraceIngestError, match="no champsim/gem5 traces"):
+            discover_traces(tmp_path)
+
+    def test_suffix_detection(self, tmp_path):
+        assert ingest_trace(DATA_DIR / "403.gcc.champsim.gz").format.name == "champsim"
+        assert ingest_trace(DATA_DIR / "433.milc.gem5.gz").format.name == "gem5"
+        with pytest.raises(TraceIngestError, match="cannot detect trace format"):
+            ingest_trace(tmp_path / "mystery.bin")
+
+    def test_format_override_beats_suffix(self, synth_uops, tmp_path):
+        path = tmp_path / "odd-name.gem5"
+        write_gem5(path, synth_uops)
+        assert ingest_trace(path, fmt="gem5").format.name == "gem5"
+
+
+class TestBlockAssignment:
+    def test_blocks_split_at_branches(self, synth_uops):
+        uops = [
+            type(u)(opcode=u.opcode, srcs=u.srcs, dest=u.dest, pc=u.pc,
+                    address=u.address, taken=u.taken, target=u.target)
+            for u in synth_uops[:200]
+        ]
+        count = assign_blocks(uops)
+        assert count >= 1
+        for prev, cur in zip(uops, uops[1:]):
+            if not prev.is_branch:
+                assert cur.block_id == prev.block_id
+
+
+class TestIngestedProbes:
+    def test_probe_extraction_shapes(self):
+        probes = build_ingested_probes(
+            DATA_DIR, interval_size=3_000, max_simpoints_per_trace=3, seed=0
+        )
+        benchmarks = {p.benchmark for p in probes}
+        assert benchmarks == {"403.gcc", "458.sjeng", "433.milc"}
+        for benchmark in benchmarks:
+            weights = [p.weight for p in probes if p.benchmark == benchmark]
+            assert weights and abs(sum(weights) - 1.0) < 1e-9
+        assert all(len(p.trace) == 3_000 for p in probes)
+        assert all("/" in p.name for p in probes)
+
+    def test_probe_source_wrapper(self):
+        source = IngestedProbeSource(
+            trace_dir=str(DATA_DIR), trace_format="champsim",
+            interval_size=3_000, max_simpoints_per_trace=2, seed=1,
+        )
+        probes = source.build()
+        assert {p.benchmark for p in probes} == {"403.gcc", "458.sjeng"}
+
+    def test_interval_clamped_to_trace_length(self):
+        probes = build_ingested_probes(
+            DATA_DIR, trace_format="gem5", interval_size=1_000_000,
+            max_simpoints_per_trace=3,
+        )
+        assert len(probes) == 1  # whole trace collapses to one interval
+        assert len(probes[0].trace) > 9_000
+
+    def test_serial_and_parallel_counters_identical(self):
+        """Ingested probes through the engine: bit-identical at any --jobs."""
+        probes = build_ingested_probes(
+            DATA_DIR, trace_format="champsim", interval_size=3_000,
+            max_simpoints_per_trace=1,
+        )
+        design = core_microarch("Skylake")
+        bugs = [None, SerializeOpcode(Opcode.XOR)]
+        requests = [(p, design, b) for p in probes for b in bugs]
+
+        serial = SimulationCache(step_cycles=256)
+        serial.warm(requests)
+        parallel = SimulationCache(
+            step_cycles=256, engine=JobEngine(jobs=2, chunk_size=1)
+        )
+        parallel.warm(requests)
+        for probe, config, bug in requests:
+            a = serial.get(probe, config, bug)
+            b = parallel.get(probe, config, bug)
+            assert a.ipc == b.ipc
+            assert np.array_equal(a.series.ipc, b.series.ipc)
+            for name in a.series.counters:
+                assert np.array_equal(
+                    a.series.counters[name], b.series.counters[name]
+                ), name
+
+    def test_store_reuse_across_sessions(self, tmp_path):
+        """Same trace file -> same digest -> zero re-simulation from a store."""
+        design = core_microarch("Skylake")
+        store = ResultStore(tmp_path / "store")
+
+        def run_once():
+            probes = build_ingested_probes(
+                DATA_DIR, trace_format="champsim", interval_size=3_000,
+                max_simpoints_per_trace=1,
+            )
+            cache = SimulationCache(
+                step_cycles=256, engine=JobEngine(jobs=1, store=store)
+            )
+            cache.warm((p, design, None) for p in probes)
+            return cache.engine.stats
+
+        first = run_once()
+        assert first.executed == 2 and first.store_hits == 0
+        second = run_once()  # fresh ingestion, fresh cache, same store
+        assert second.executed == 0 and second.store_hits == 2
+
+    def test_fig3_falls_back_when_403_gcc_absent(self):
+        """Experiments pinned to the paper's running example must still run
+        on trace directories that do not contain a 403.gcc trace."""
+        from repro.experiments import fig3_simpoint_ipc
+        from repro.experiments.common import ExperimentContext
+
+        with ExperimentContext(
+            "smoke", trace_dir=str(DATA_DIR), trace_format="gem5"
+        ) as context:
+            result = fig3_simpoint_ipc.run(context=context)
+        assert any("433.milc" in str(row["SimPoint"]) for row in result.rows)
+
+    def test_memory_study_on_ingested_probe(self):
+        probes = build_ingested_probes(
+            DATA_DIR, trace_format="gem5", interval_size=3_000,
+            max_simpoints_per_trace=1,
+        )
+        cache = MemorySimulationCache(step_instructions=500, target_metric="amat")
+        observation = cache.get(probes[0], memory_microarch("Skylake-mem"))
+        assert observation.target_metric > 1.0
+
+
+class TestIngestCli:
+    def test_lists_traces_and_probes(self, capsys):
+        assert ingest_main([str(DATA_DIR), "--format", "champsim", "--probes",
+                            "--max-simpoints", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "403.gcc" in out and "format=champsim" in out
+        assert GOLDEN_DIGESTS["403.gcc"] in out
+        assert "probe 403.gcc/sp01" in out
+        assert "433.milc" not in out

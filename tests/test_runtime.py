@@ -293,6 +293,96 @@ class TestResultStore:
         with pytest.raises(ValueError):
             ResultStore(tmp_path / "store", max_entries=0)
 
+    @staticmethod
+    def _tiny_result():
+        return StoredResult(
+            study="core", config_name="X", bug_name="bug-free",
+            instructions=8, cycles=16.0, amat=0.0, step=256,
+            counters={"c": np.arange(4.0)}, ipc=np.ones(4),
+        )
+
+    def test_evict_excludes_fresh_key_on_mtime_tie(self, tmp_path):
+        """Regression: on coarse-mtime filesystems the freshly written entry
+        can tie with older ones, and its hex name sorting first must not get
+        it evicted by the very put() that wrote it."""
+        writer = ResultStore(tmp_path / "store")  # no capacity: no eviction yet
+        # "00fresh" sorts before both older keys on a full (mtime, name) tie.
+        for key in ("aa0", "bb1", "00fresh"):
+            writer.put(key, self._tiny_result())
+        now = 1_000_000
+        for key in ("aa0", "bb1", "00fresh"):
+            os.utime(writer._entry_path(key), (now, now))
+        store = ResultStore(tmp_path / "store", max_entries=2)
+        store._evict(fresh=store._entry_path("00fresh"))
+        assert "00fresh" in store
+        assert len(store) == 2
+
+    def test_put_never_evicts_what_it_just_wrote(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_entries=2)
+        store.put("aa0", self._tiny_result())
+        store.put("bb1", self._tiny_result())
+        # Push the old entries into the future so the fresh entry would sort
+        # strictly oldest — the worst case of the mtime-tie bug.
+        future = 4_000_000_000
+        os.utime(store._entry_path("aa0"), (future, future))
+        os.utime(store._entry_path("bb1"), (future, future))
+        store.put("00fresh", self._tiny_result())
+        assert "00fresh" in store
+        assert store.get("00fresh") is not None
+        assert len(store) == 2
+
+    def test_stale_tmp_files_swept_on_init(self, tmp_path):
+        first = ResultStore(tmp_path / "store")
+        first.put("aa0", self._tiny_result())
+        # Simulate writers killed mid-put long ago: orphaned <key>.tmp<pid>
+        # files with old mtimes.
+        ancient = 1_000_000
+        for name in ("deadbeef.tmp4242", "cafe.tmp99"):
+            stale = first.path / name
+            stale.write_bytes(b"partial")
+            os.utime(stale, (ancient, ancient))
+        # A *young* temp file may belong to a live writer in another process
+        # sharing the store and must survive the sweep.
+        live = first.path / "beef.tmp123"
+        live.write_bytes(b"in flight")
+        # Non-temp foreign files are never touched either.
+        foreign = first.path / "notes.txt"
+        foreign.write_text("keep me")
+        second = ResultStore(tmp_path / "store")
+        assert second.stats.tmp_swept == 2
+        assert not (second.path / "deadbeef.tmp4242").exists()
+        assert not (second.path / "cafe.tmp99").exists()
+        assert live.exists()
+        assert foreign.exists()
+        assert len(second) == 1
+        assert second.get("aa0") is not None
+
+    def test_warm_store_writes_without_rescanning(self, tmp_path):
+        """Regression: every put used to glob the whole directory, making N
+        writes O(N^2); the count is now tracked incrementally."""
+        store = ResultStore(tmp_path / "store", max_entries=5_000)
+        result = self._tiny_result()
+        for index in range(1_000):
+            store.put(f"k{index:04d}", result)
+        assert store.scans == 1  # the __init__ scan, nothing per-put
+        assert len(store) == 1_000
+
+        warm = ResultStore(tmp_path / "store")
+        assert warm.scans == 1
+        assert len(warm) == 1_000
+        warm.put("extra", result)
+        assert warm.scans == 1
+        assert len(warm) == 1_001
+
+    def test_count_resyncs_after_corrupt_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("aa0", self._tiny_result())
+        # An external writer drops in a garbage entry the counter missed.
+        (store.path / "garbage.npz").write_bytes(b"junk")
+        assert store.get("garbage") is None
+        assert not (store.path / "garbage.npz").exists()
+        assert len(store) == 1  # resynced from disk, not guessed
+
 
 class TestCacheIntegration:
     def test_warm_parallel_matches_serial_observations(self):
