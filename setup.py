@@ -1,24 +1,30 @@
 """Package metadata and installation entry points.
 
 ``pip install -e .`` makes the ``repro`` package importable without
-``PYTHONPATH`` tricks and installs two console scripts:
+``PYTHONPATH`` tricks and installs the console scripts:
 
 * ``repro-experiments`` — the ``python -m repro.experiments.runner`` CLI
-  (``--scale``, ``--only``, ``--jobs``, ``--store``, ``--trace-dir``,
-  ``--trace-format``);
+  (``--scale``, ``--only``, ``--jobs``, ``--backend``, ``--store``,
+  ``--trace-dir``, ``--trace-format``);
 * ``repro-bench`` — the tracked perf-benchmark harness
-  (``python -m repro.bench.perf``: ``--quick``, ``--jobs``, ``--output``),
-  which writes ``BENCH_simulation.json``;
+  (``python -m repro.bench.perf``: ``--quick``, ``--jobs``, ``--backend``,
+  ``--output``), which writes ``BENCH_simulation.json``;
 * ``repro-ingest`` — on-disk trace inspection
   (``python -m repro.workloads.ingest``: lists format, instruction count,
-  digest and optional SimPoint probes for each trace in a directory).
+  digest and optional SimPoint probes for each trace in a directory);
+* ``repro-worker`` — the remote execution worker
+  (``python -m repro.runtime.worker``): serves simulation chunks over the
+  stdio frame protocol for the ``subprocess:`` and ``ssh://`` backends
+  (see ``docs/RUNTIME.md``);
+* ``repro-store`` — result-store maintenance
+  (``python -m repro.runtime.store_cli``: ``merge SRC... DST``, ``info``).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"
@@ -32,6 +38,8 @@ setup(
             "repro-experiments=repro.experiments.runner:main",
             "repro-bench=repro.bench.perf:main",
             "repro-ingest=repro.workloads.ingest:main",
+            "repro-worker=repro.runtime.worker:main",
+            "repro-store=repro.runtime.store_cli:main",
         ],
     },
 )

@@ -16,7 +16,10 @@ against:
 * ``engine``   — parallel batch throughput through a persistent
   :class:`~repro.runtime.JobEngine`, run as two consecutive batches to
   exercise pool reuse, under both the cost-aware ``ljf`` scheduler and the
-  seed-style ``uniform`` scheduler.
+  seed-style ``uniform`` scheduler.  ``--backend SPEC`` points this section
+  at any execution backend (``local:N`` by default; e.g. ``subprocess:N``
+  to time the worker wire protocol) and the chosen spec is recorded in a
+  ``backend`` column of every scheduler row.
 * ``store``    — cold simulate-and-fill versus warm replay against a
   :class:`~repro.runtime.ResultStore`.
 
@@ -45,7 +48,8 @@ from ..uarch import core_microarch
 from ..workloads.isa import Opcode
 
 #: Output schema version; bump when the JSON layout changes.
-SCHEMA_VERSION = 1
+#: v2: engine section gained a ``backend`` spec column per scheduler row.
+SCHEMA_VERSION = 2
 
 #: Default output file, kept at the repo root by CI so the perf trajectory
 #: of the project lives beside the code that produced it.
@@ -155,14 +159,23 @@ def _engine_jobs(
     ]
 
 
-def bench_engine(probes: Sequence[Probe], jobs: int, quick: bool) -> dict:
-    """Batch throughput through a persistent pool, per scheduler."""
+def bench_engine(
+    probes: Sequence[Probe], jobs: int, quick: bool, backend: str | None = None
+) -> dict:
+    """Batch throughput through a persistent worker set, per scheduler."""
     registry = TraceRegistry()
     batch = _engine_jobs(probes, registry, quick)
     half = len(batch) // 2
+    requested = backend or ("serial" if jobs <= 1 else f"local:{jobs}")
+    spec = requested
+    workers = jobs
     schedulers = {}
     for scheduler in ("ljf", "uniform"):
-        with JobEngine(jobs=jobs, scheduler=scheduler) as engine:
+        with JobEngine(backend=requested, scheduler=scheduler) as engine:
+            # Resolved slot count and canonical spec of the actual backend
+            # (e.g. bare "subprocess" canonicalizes to "subprocess:2").
+            workers = engine.jobs
+            spec = engine.backend.spec
             start = time.perf_counter()
             engine.run(batch[:half], registry.traces)
             first_elapsed = time.perf_counter() - start
@@ -171,6 +184,7 @@ def bench_engine(probes: Sequence[Probe], jobs: int, quick: bool) -> dict:
             second_elapsed = time.perf_counter() - start
             stats = engine.stats
             schedulers[scheduler] = {
+                "backend": engine.backend.spec,
                 "first_batch_seconds": round(first_elapsed, 4),
                 "reused_pool_batch_seconds": round(second_elapsed, 4),
                 "jobs_per_sec": round(len(batch) / (first_elapsed + second_elapsed), 2),
@@ -181,7 +195,12 @@ def bench_engine(probes: Sequence[Probe], jobs: int, quick: bool) -> dict:
                 "trace_deltas": stats.trace_deltas,
                 "straggler_jobs": stats.straggler_jobs,
             }
-    return {"jobs": len(batch), "workers": jobs, "schedulers": schedulers}
+    return {
+        "jobs": len(batch),
+        "workers": workers,
+        "backend": spec,
+        "schedulers": schedulers,
+    }
 
 
 def bench_store(probes: Sequence[Probe], quick: bool) -> dict:
@@ -212,7 +231,9 @@ def bench_store(probes: Sequence[Probe], quick: bool) -> dict:
     }
 
 
-def run_benchmarks(quick: bool = False, jobs: int = 2) -> dict:
+def run_benchmarks(
+    quick: bool = False, jobs: int = 2, backend: str | None = None
+) -> dict:
     """Run every benchmark section and return the report dict."""
     started = time.time()
     probes = _standard_probes(quick)
@@ -221,7 +242,7 @@ def run_benchmarks(quick: bool = False, jobs: int = 2) -> dict:
         "benchmark": "simulation",
         "quick": quick,
         "single": bench_single(probes, quick),
-        "engine": bench_engine(probes, jobs, quick),
+        "engine": bench_engine(probes, jobs, quick, backend=backend),
         "store": bench_store(probes, quick),
         "environment": {
             "python": platform.python_version(),
@@ -241,16 +262,28 @@ def main(argv: list[str] | None = None) -> int:
         help="CI-sized run: fewer probes, presets and repeats",
     )
     parser.add_argument(
-        "--jobs", type=int, default=2,
-        help="worker processes for the engine benchmark (default 2)",
+        "--jobs", type=int, default=None,
+        help="worker processes for the engine benchmark (default 2); "
+             "mutually exclusive with --backend",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        help="execution backend spec for the engine benchmark "
+             "(default: local:JOBS; e.g. subprocess:2 times the worker "
+             "wire protocol — see docs/RUNTIME.md)",
     )
     parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
         help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
     )
     args = parser.parse_args(argv)
+    if args.backend is not None and args.jobs is not None:
+        parser.error("--jobs and --backend are mutually exclusive "
+                     "(--jobs N is sugar for --backend local:N)")
 
-    report = run_benchmarks(quick=args.quick, jobs=max(1, args.jobs))
+    report = run_benchmarks(
+        quick=args.quick, jobs=max(1, args.jobs or 2), backend=args.backend
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -265,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, row in engine.items():
         print(
-            f"  engine[{name}]: {row['jobs_per_sec']} jobs/s, "
+            f"  engine[{name}@{row['backend']}]: {row['jobs_per_sec']} jobs/s, "
             f"{row['chunks']} chunks, straggler={row['straggler_jobs']} jobs, "
             f"pool reuse {row['pool_reuses']}/{row['pool_creates'] + row['pool_reuses']}"
         )

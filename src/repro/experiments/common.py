@@ -25,7 +25,7 @@ from ..detect.probe import (
     SyntheticProbeSource,
 )
 from ..detect.stage1 import ProbeModelConfig
-from ..runtime import JobEngine, ResultStore, default_jobs
+from ..runtime import JobEngine, ResultStore
 from ..uarch.memory_presets import memory_set
 from ..uarch.presets import core_set
 
@@ -199,8 +199,13 @@ class ExperimentContext:
     scale:
         Scale name or explicit :class:`ExperimentScale`.
     jobs:
-        Simulation worker processes; ``None`` reads the ``REPRO_JOBS``
-        environment variable (default 1 = serial).
+        Simulation worker processes — sugar for the ``local:N`` execution
+        backend (``1`` = serial).  ``None`` defers to *backend*, then to
+        the ``REPRO_BACKEND`` / ``REPRO_JOBS`` environment variables.
+    backend:
+        Execution backend spec string (``"serial"``, ``"local:8"``,
+        ``"subprocess:4"``, ``"ssh://hostA:4,hostB:4"`` — see
+        ``docs/RUNTIME.md``).  Mutually exclusive with *jobs*.
     store_path:
         Optional directory for a persistent :class:`~repro.runtime.ResultStore`;
         repeated runs against the same store never re-simulate.
@@ -224,15 +229,18 @@ class ExperimentContext:
         progress: Callable[[int, int], None] | None = None,
         trace_dir: str | None = None,
         trace_format: str | None = None,
+        backend: str | None = None,
     ) -> None:
         self.scale = get_scale(scale)
         self.trace_dir = trace_dir
         self.trace_format = trace_format
         self._probes: list[Probe] | None = None
         self._memory_probes: list[Probe] | None = None
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.store = ResultStore(store_path) if store_path else None
-        self.engine = JobEngine(jobs=self.jobs, store=self.store, progress=progress)
+        self.engine = JobEngine(
+            jobs=jobs, backend=backend, store=self.store, progress=progress
+        )
+        self.jobs = self.engine.jobs
         self.cache = SimulationCache(
             step_cycles=self.scale.step_cycles, engine=self.engine
         )

@@ -5,9 +5,15 @@ Usage::
     python -m repro.experiments.runner --scale smoke
     python -m repro.experiments.runner --scale small --only tab5 tab7
     python -m repro.experiments.runner --scale small --jobs 8 --store .repro-store
+    python -m repro.experiments.runner --scale small --backend subprocess:4
 
-``--jobs N`` shards the underlying simulations across N worker processes;
-``--store PATH`` persists every simulated counter series keyed by content
+``--jobs N`` shards the underlying simulations across N local worker
+processes (sugar for ``--backend local:N``); ``--backend SPEC`` selects any
+execution backend — ``serial``, ``local:N``, ``subprocess:N`` (local
+``repro-worker`` processes over the stdio frame protocol) or
+``ssh://hostA:4,hostB:4`` (the same protocol over ssh; see
+``docs/RUNTIME.md``).  ``--store PATH`` persists every simulated counter
+series keyed by content
 hash, so a repeat invocation (same scale/experiments) performs zero new
 simulations.  ``--trace-dir DIR [--trace-format champsim|gem5]`` swaps the
 synthetic workloads for on-disk traces (see ``docs/TRACES.md``): probes are
@@ -69,12 +75,13 @@ def run_all(
     store: str | None = None,
     trace_dir: str | None = None,
     trace_format: str | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Run the selected experiments, sharing one context, and return results.
 
-    *jobs*, *store*, *trace_dir* and *trace_format* configure the implicitly
-    created context (see :class:`ExperimentContext`); they are ignored when
-    an explicit *context* is passed.
+    *jobs*, *store*, *trace_dir*, *trace_format* and *backend* configure the
+    implicitly created context (see :class:`ExperimentContext`); they are
+    ignored when an explicit *context* is passed.
     """
     chosen = list(EXPERIMENTS) if not only else [e for e in EXPERIMENTS if e in set(only)]
     unknown = set(only or []) - set(EXPERIMENTS)
@@ -82,7 +89,7 @@ def run_all(
         raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
     context = context or ExperimentContext(
         get_scale(scale), jobs=jobs, store_path=store,
-        trace_dir=trace_dir, trace_format=trace_format,
+        trace_dir=trace_dir, trace_format=trace_format, backend=backend,
     )
     results = []
     for experiment_id in chosen:
@@ -98,8 +105,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default=None,
                         help="optional path to write the combined report")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="simulation worker processes "
+                        help="simulation worker processes, sugar for "
+                             "--backend local:N "
                              "(default: $REPRO_JOBS or 1 = serial)")
+    parser.add_argument("--backend", default=None,
+                        help="execution backend spec: serial, local:N, "
+                             "subprocess:N or ssh://host:N,host2:N "
+                             "(default: $REPRO_BACKEND; see docs/RUNTIME.md)")
     parser.add_argument("--store", default=None,
                         help="directory of a persistent simulation result store; "
                              "repeat runs against it never re-simulate")
@@ -113,11 +125,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.trace_format is not None and args.trace_dir is None:
         parser.error("--trace-format requires --trace-dir")
+    if args.backend is not None and args.jobs is not None:
+        parser.error("--jobs and --backend are mutually exclusive "
+                     "(--jobs N is sugar for --backend local:N)")
 
     start = time.time()
     context = ExperimentContext(
         get_scale(args.scale), jobs=args.jobs, store_path=args.store,
         trace_dir=args.trace_dir, trace_format=args.trace_format,
+        backend=args.backend,
     )
     results = run_all(scale=args.scale, only=args.only, context=context)
     report = "\n\n".join(result.to_text() for result in results)
@@ -139,7 +155,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     stats = context.engine.stats
     report += (
-        f"[runtime] jobs={context.engine.jobs} simulations={stats.jobs} "
+        f"[runtime] backend={context.engine.backend.spec} "
+        f"jobs={context.engine.jobs} simulations={stats.jobs} "
         f"executed={stats.executed} store_hits={stats.store_hits} "
         f"batches={stats.batches}\n"
         f"[scheduler] {context.engine.scheduler} chunks={stats.chunks} "

@@ -1,4 +1,4 @@
-"""Parallel simulation job engine with a persistent result store.
+"""Simulation job engine with pluggable execution backends and a result store.
 
 Every experiment in the reproduction reduces to thousands of independent
 (microarchitecture x bug x probe) simulation jobs.  This package provides
@@ -6,22 +6,39 @@ the runtime that makes broad sweeps tractable:
 
 * :class:`SimulationJob` — a pure-data, picklable job spec, with
   content-hash identity (:meth:`SimulationJob.key`),
-* :class:`JobEngine` — shards job batches across worker processes (or runs
-  them inline for ``jobs=1`` / ``REPRO_JOBS``), with chunked dispatch,
-  deterministic per-job seeds, progress callbacks and uniform worker-failure
-  propagation (:class:`JobFailedError`),
+* :class:`JobEngine` — plans job batches into cost-balanced chunks and runs
+  them on a pluggable :class:`ExecutionBackend`, selected by spec string:
+  ``serial`` (inline), ``local:N`` (persistent process pool),
+  ``subprocess:N`` (local ``repro-worker`` processes over a stdio frame
+  protocol) or ``ssh://hostA:4,hostB:4`` (the same protocol over ssh) —
+  with chunked dispatch, deterministic per-job seeds, progress callbacks,
+  incremental result persistence and uniform worker-failure propagation
+  (:class:`JobFailedError`).  ``jobs=N`` / ``REPRO_JOBS`` remain sugar for
+  the local backend; ``REPRO_BACKEND`` names a default spec,
 * :class:`ResultStore` — persists counter series to disk keyed by the
   content hash of (config, bug, trace, step), so repeated experiment runs
-  and CI never re-simulate.
+  and CI never re-simulate; mergeable across runs
+  (:meth:`ResultStore.merge_from`, ``repro-store merge``).
 
 The simulation caches in :mod:`repro.detect.dataset` batch their misses
-through this engine, and ``repro.experiments.runner --jobs N --store PATH``
-threads it under all figure/table experiments.
+through this engine, and ``repro.experiments.runner --backend SPEC --store
+PATH`` threads it under all figure/table experiments.  The backend API and
+the worker wire protocol are documented in ``docs/RUNTIME.md``.
 """
 
+from .backends import (
+    BACKEND_ENV_VAR,
+    BackendError,
+    ExecutionBackend,
+    LocalBackend,
+    ProtocolError,
+    RemoteBackend,
+    SerialBackend,
+    parse_backend,
+    spec_for_jobs,
+)
 from .engine import (
     JOBS_ENV_VAR,
-    EngineStats,
     JobEngine,
     JobFailedError,
     default_jobs,
@@ -35,16 +52,24 @@ from .job import (
     config_fingerprint,
     trace_digest,
 )
+from .stats import EngineStats
 from .store import ResultStore, StoredResult, StoreStats
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "CORE_STUDY",
     "MEMORY_STUDY",
     "JOBS_ENV_VAR",
+    "BackendError",
     "EngineStats",
+    "ExecutionBackend",
     "JobEngine",
     "JobFailedError",
+    "LocalBackend",
+    "ProtocolError",
+    "RemoteBackend",
     "ResultStore",
+    "SerialBackend",
     "SimulationJob",
     "StoreStats",
     "StoredResult",
@@ -52,5 +77,7 @@ __all__ = [
     "bug_fingerprint",
     "config_fingerprint",
     "default_jobs",
+    "parse_backend",
+    "spec_for_jobs",
     "trace_digest",
 ]

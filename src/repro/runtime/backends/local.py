@@ -1,0 +1,145 @@
+"""Local process-pool backend: a persistent ``ProcessPoolExecutor``.
+
+This is the seed engine's parallel machinery, behavior-preserved, behind the
+:class:`~repro.runtime.backends.base.ExecutionBackend` protocol:
+
+* **Persistent worker pool.**  The executor is created on first use and
+  reused across ``run`` batches, so spawn-platform import costs and trace
+  shipping are paid once per backend, not once per batch.  Worker processes
+  keep a cumulative content-addressed trace table; traces a batch introduces
+  after pool creation travel as per-chunk deltas (workers ignore digests
+  they already hold).
+
+* **Delta rebase.**  Once the cumulative delta payload this backend has
+  shipped outweighs the pool-initializer payload, the next ``start`` tears
+  the pool down and recreates it with every trace the backend has seen, so
+  long-lived engines converge back to shipping each trace once per worker
+  (``pool_creates`` counts rebases too).
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Iterator, Mapping, Set
+
+from ..execution import run_chunk_items
+from .base import ExecutionBackend
+
+# -- worker-side machinery ---------------------------------------------------
+#
+# Each worker process keeps a cumulative content-addressed trace table.  The
+# pool initializer installs the traces known at pool-creation time; chunks
+# carry {digest: trace} deltas for traces first referenced by a later batch,
+# which workers merge in (digests they already hold are simply overwritten
+# with identical content, so the merge is idempotent).
+
+_WORKER_TRACES: dict = {}
+
+
+def _init_worker(traces: Mapping) -> None:
+    global _WORKER_TRACES
+    _WORKER_TRACES = dict(traces)
+
+
+def _run_chunk(payload: tuple) -> tuple:
+    chunk, delta = payload
+    if delta:
+        _WORKER_TRACES.update(delta)
+    return run_chunk_items(chunk, _WORKER_TRACES)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+class LocalBackend(ExecutionBackend):
+    """Persistent local process pool with per-chunk trace deltas."""
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        self.slots = max(1, int(workers))
+        self.spec = f"local:{self.slots}"
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_trace_ids: set[str] = set()
+        self._pool_finalizer: weakref.finalize | None = None
+        self._futures: dict[Future, int] = {}
+        # Rebase bookkeeping: cumulative traces seen by this backend, the
+        # instruction cost shipped via pool initialisation, and the delta
+        # cost shipped since — when deltas outweigh the initializer payload,
+        # the pool is rebuilt with the merged table so recurring traces stop
+        # travelling with every chunk.
+        self._all_traces: dict[str, object] = {}
+        self._initializer_cost = 0
+        self._delta_cost_since_rebase = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, traces: Mapping) -> None:
+        """Ensure the persistent pool is live, creating or rebasing it."""
+        self._all_traces.update(traces)
+        if self._pool is not None and self._delta_cost_since_rebase > max(
+            1, self._initializer_cost
+        ):
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.slots,
+                initializer=_init_worker,
+                initargs=(dict(self._all_traces),),
+            )
+            self._pool_trace_ids = set(self._all_traces)
+            self._initializer_cost = sum(
+                len(trace) for trace in self._all_traces.values()
+            )
+            self._delta_cost_since_rebase = 0
+            self.stats.pool_creates += 1
+            self.stats.traces_shipped += len(self._all_traces)
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        else:
+            self.stats.pool_reuses += 1
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self.cancel_pending()
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            self._pool_trace_ids = set()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            _shutdown_pool(pool)
+
+    # -- chunk protocol --------------------------------------------------------
+
+    def known_trace_ids(self) -> Set[str]:
+        return self._pool_trace_ids
+
+    def submit(self, tag: int, chunk: list, trace_delta: Mapping) -> None:
+        if self._pool is None:
+            raise RuntimeError("submit() before start()")
+        self._delta_cost_since_rebase += sum(
+            len(trace) for trace in trace_delta.values()
+        )
+        future = self._pool.submit(_run_chunk, (chunk, dict(trace_delta)))
+        self._futures[future] = tag
+
+    def drain(self) -> Iterator[tuple]:
+        """Yield outcomes completion-first.
+
+        A worker-process death surfaces here as the pool's
+        ``BrokenProcessPool`` from ``future.result()`` — a transport-level
+        failure the engine answers by closing this backend, so the next
+        batch starts from a clean pool.
+        """
+        unfinished = set(self._futures)
+        while unfinished:
+            finished, unfinished = wait(unfinished, return_when=FIRST_COMPLETED)
+            for future in finished:
+                tag = self._futures.pop(future)
+                yield tag, future.result()
+
+    def cancel_pending(self) -> None:
+        for future in self._futures:
+            future.cancel()
+        self._futures.clear()

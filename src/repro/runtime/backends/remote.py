@@ -1,0 +1,418 @@
+"""Remote execution backend: one wire protocol, two transports.
+
+A remote worker is any process speaking the ``repro-worker`` frame protocol
+over its stdio (see :mod:`repro.runtime.worker`).  The backend spawns one
+worker process per slot and drives each over a private pipe pair:
+
+* ``subprocess:N`` — N workers spawned locally as
+  ``python -m repro.runtime.worker``.  Functionally a slower
+  :class:`~repro.runtime.backends.local.LocalBackend`, but it exercises the
+  *entire* remote path (framing, handshake, per-worker trace shipping) with
+  no network, which makes it fully CI-testable.
+* ``ssh://hostA:4,hostB:4`` — the same protocol over ``ssh host
+  repro-worker``; ``repro`` must be installed (or importable) on each host.
+
+Wire protocol (version-checked at handshake):
+
+* Every frame is an 8-byte big-endian length followed by a pickled
+  ``(kind, payload)`` tuple.  Oversized or truncated frames raise
+  :class:`ProtocolError`.
+* Handshake: the driver sends ``("hello", {"protocol": V})``; the worker
+  replies ``("hello", {"protocol": V, "pid": ..., "python": ...})`` or
+  ``("error", message)`` and exits on a version mismatch.  Both sides
+  verify the version.
+* Traces ship **once per worker**, keyed by content digest: before a chunk
+  is sent to a worker, the digests the chunk references that this worker
+  has not yet received travel in a ``("traces", {digest: trace})`` frame.
+  The backend therefore reports every batch trace as "known" to the engine
+  (empty per-chunk engine deltas) and handles distribution itself.
+* ``("chunk", (tag, [(index, job), ...]))`` requests execution;
+  ``("result", (tag, outcome))`` answers it, where *outcome* is a
+  :data:`~repro.runtime.execution.ChunkOutcome`.  ``("shutdown", None)``
+  ends the session.
+
+Job-level exceptions travel inside outcomes as
+:class:`~repro.runtime.execution.ChunkFailure` values; anything that breaks
+the connection itself (worker death, truncated stream) surfaces as a
+:class:`~repro.runtime.backends.base.BackendError` from ``drain`` and the
+engine responds by closing the backend — the next batch starts fresh
+workers, and results persisted so far stay in the
+:class:`~repro.runtime.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import struct
+import subprocess
+import sys
+import threading
+import weakref
+from typing import BinaryIO, Iterator, Mapping, Sequence, Set
+
+from .base import BackendError, ExecutionBackend
+
+#: Version of the frame protocol; bump on any incompatible layout change.
+#: Driver and worker both refuse to talk across a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame body.  Real frames are far smaller; a
+#: length beyond this means the stream is garbage (e.g. a worker printing
+#: to stdout), and failing fast beats trying to allocate petabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Frame kinds.
+HELLO = "hello"
+TRACES = "traces"
+CHUNK = "chunk"
+RESULT = "result"
+ERROR = "error"
+SHUTDOWN = "shutdown"
+
+_HEADER = struct.Struct(">Q")
+
+
+class ProtocolError(BackendError):
+    """The frame stream broke: truncation, garbage, or a version mismatch."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def write_frame(stream: BinaryIO, kind: str, payload) -> None:
+    """Write one length-prefixed pickle frame and flush."""
+    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(body)))
+    stream.write(body)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = b""
+    while len(data) < size:
+        piece = stream.read(size - len(data))
+        if not piece:
+            raise ProtocolError(
+                f"truncated frame: expected {size} bytes, got {len(data)}"
+            )
+        data += piece
+    return data
+
+
+def read_frame(stream: BinaryIO, allow_eof: bool = False):
+    """Read one frame, returning ``(kind, payload)``.
+
+    At a clean frame boundary, EOF returns ``None`` when *allow_eof* is set
+    (the peer closed the connection deliberately) and raises
+    :class:`ProtocolError` otherwise.  EOF inside a frame is always a
+    :class:`ProtocolError`.
+    """
+    first = stream.read(1)
+    if not first:
+        if allow_eof:
+            return None
+        raise ProtocolError("connection closed while waiting for a frame")
+    header = first + _read_exact(stream, _HEADER.size - 1)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame: {length} bytes (stream is garbage?)")
+    try:
+        frame = pickle.loads(_read_exact(stream, length))
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not (isinstance(frame, tuple) and len(frame) == 2 and isinstance(frame[0], str)):
+        raise ProtocolError(f"malformed frame: {type(frame).__name__}")
+    return frame
+
+
+def check_hello(payload, side: str) -> None:
+    """Validate a handshake payload against our :data:`PROTOCOL_VERSION`."""
+    version = payload.get("protocol") if isinstance(payload, dict) else None
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: {side} speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+
+
+# -- worker commands ---------------------------------------------------------
+
+
+def local_worker_command() -> list[str]:
+    """Spawn a worker under the driver's own interpreter (``subprocess:``)."""
+    return [sys.executable, "-m", "repro.runtime.worker"]
+
+
+def ssh_worker_command(host: str) -> list[str]:
+    """Spawn a worker on *host* via the installed ``repro-worker`` script."""
+    return ["ssh", "-o", "BatchMode=yes", host, "repro-worker"]
+
+
+class WorkerConnection:
+    """One worker process plus the frame streams to drive it."""
+
+    def __init__(self, command: Sequence[str], label: str) -> None:
+        self.command = list(command)
+        self.label = label
+        self.process: subprocess.Popen | None = None
+        #: Content digests this worker has already received.
+        self.shipped: set[str] = set()
+
+    def start(self) -> None:
+        """Spawn the worker and complete the versioned handshake."""
+        self.shipped = set()
+        self.process = subprocess.Popen(
+            self.command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            # stderr inherited: worker tracebacks reach the driver's console.
+        )
+        try:
+            write_frame(self.process.stdin, HELLO, {"protocol": PROTOCOL_VERSION})
+            frame = read_frame(self.process.stdout)
+            kind, payload = frame
+            if kind == ERROR:
+                raise ProtocolError(f"worker {self.label} rejected handshake: {payload}")
+            if kind != HELLO:
+                raise ProtocolError(
+                    f"worker {self.label} sent {kind!r} instead of a handshake"
+                )
+            check_hello(payload, side=f"worker {self.label}")
+        except Exception:
+            self.close()
+            raise
+
+    def run_chunk(self, tag: int, chunk: list, trace_table: Mapping):
+        """Ship missing traces, dispatch *chunk*, block for its outcome.
+
+        Returns ``(outcome, traces_shipped)``.
+        """
+        process = self.process
+        if process is None or process.poll() is not None:
+            raise ProtocolError(f"worker {self.label} is gone")
+        missing = {job.trace_id for _, job in chunk} - self.shipped
+        if missing:
+            write_frame(
+                process.stdin, TRACES, {tid: trace_table[tid] for tid in missing}
+            )
+            self.shipped |= missing
+        write_frame(process.stdin, CHUNK, (tag, chunk))
+        frame = read_frame(process.stdout)
+        kind, payload = frame
+        if kind == ERROR:
+            raise ProtocolError(f"worker {self.label} failed: {payload}")
+        if kind != RESULT:
+            raise ProtocolError(f"worker {self.label} sent unexpected {kind!r} frame")
+        result_tag, outcome = payload
+        if result_tag != tag:
+            raise ProtocolError(
+                f"worker {self.label} answered chunk {result_tag} (expected {tag})"
+            )
+        return outcome, len(missing)
+
+    def close(self) -> None:
+        """Ask the worker to shut down, then make sure it is gone."""
+        process, self.process = self.process, None
+        self.shipped = set()
+        if process is None:
+            return
+        try:
+            if process.poll() is None and process.stdin and not process.stdin.closed:
+                write_frame(process.stdin, SHUTDOWN, None)
+                process.stdin.close()
+        except (OSError, ValueError):  # already dead / pipe gone
+            pass
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            process.kill()
+            process.wait()
+
+
+class _TransportFailure:
+    """Internal marker carrying a connection-level error into ``drain``."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+_STOP = object()
+
+
+def _serve_connection(backend_ref, connection, task_queue, results, traces, stats, lock):
+    """Serving loop for one worker connection (runs in a daemon thread).
+
+    Deliberately a module-level function over a *weak* backend reference:
+    a thread blocked on the task queue must not pin the backend alive, so
+    a dropped engine can be garbage-collected and its finalizer can stop
+    the threads and reap the worker processes.
+    """
+    while True:
+        item = task_queue.get()
+        if item is _STOP:
+            return
+        batch, tag, chunk = item
+        backend = backend_ref()
+        if backend is None or batch != backend._batch:
+            del backend  # cancelled (or owner gone): drop without running
+            continue
+        del backend  # no strong reference while blocked on the worker
+        try:
+            outcome, shipped = connection.run_chunk(tag, chunk, traces)
+        except Exception as exc:
+            results.put((batch, tag, _TransportFailure(f"{connection.label}: {exc}")))
+            return  # connection is unusable; thread retires
+        with lock:
+            stats.traces_shipped += shipped
+        results.put((batch, tag, outcome))
+
+
+def _finalize_workers(task_queue, connections, thread_count) -> None:
+    """GC fallback: stop serving threads and reap worker processes."""
+    for _ in range(thread_count):
+        task_queue.put(_STOP)
+    for connection in connections:
+        connection.close()
+
+
+class RemoteBackend(ExecutionBackend):
+    """Drives N worker connections, one serving thread per connection."""
+
+    remote = True
+
+    def __init__(self, commands: Sequence[Sequence[str]], spec: str) -> None:
+        if not commands:
+            raise ValueError("remote backend needs at least one worker command")
+        super().__init__()
+        self.spec = spec
+        self.slots = len(commands)
+        self._connections = [
+            WorkerConnection(command, label=f"{spec}#{i}")
+            for i, command in enumerate(commands)
+        ]
+        self._threads: list[threading.Thread] = []
+        self._queue: "queue.Queue" = queue.Queue()
+        self._results: "queue.Queue" = queue.Queue()
+        self._traces: dict[str, object] = {}
+        self._batch = 0
+        self._outstanding = 0
+        self._lock = threading.Lock()
+        self._live = False
+        self._finalizer: weakref.finalize | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _healthy(self) -> bool:
+        """Every serving thread alive and every worker process running."""
+        return all(thread.is_alive() for thread in self._threads) and all(
+            c.process is not None and c.process.poll() is None
+            for c in self._connections
+        )
+
+    def start(self, traces: Mapping) -> None:
+        self._traces.update(traces)
+        self._batch += 1
+        self._outstanding = 0
+        if self._live and not self._healthy():
+            # A worker died (or its thread retired) while its failure report
+            # was cancelled away with a previous batch — e.g. a transport
+            # failure racing a JobFailedError.  Reusing the remnant would
+            # silently run on reduced capacity; rebuild the worker set.
+            self.close()
+        if self._live:
+            self.stats.pool_reuses += 1
+            return
+        started: list[WorkerConnection] = []
+        try:
+            for connection in self._connections:
+                connection.start()
+                started.append(connection)
+        except Exception:
+            for connection in started:
+                connection.close()
+            raise
+        self._queue = queue.Queue()
+        self._results = queue.Queue()
+        backend_ref = weakref.ref(self)
+        self._threads = [
+            threading.Thread(
+                target=_serve_connection,
+                args=(backend_ref, connection, self._queue, self._results,
+                      self._traces, self.stats, self._lock),
+                daemon=True,
+                name=f"repro-backend-{connection.label}",
+            )
+            for connection in self._connections
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._finalizer = weakref.finalize(
+            self, _finalize_workers,
+            self._queue, list(self._connections), len(self._threads),
+        )
+        self._live = True
+        self.stats.pool_creates += 1
+
+    def close(self) -> None:
+        self._batch += 1  # invalidate everything in flight
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._drain_queue(self._queue)
+        self._drain_queue(self._results)
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for connection in self._connections:
+            connection.close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads = []
+        self._live = False
+
+    @staticmethod
+    def _drain_queue(q: "queue.Queue") -> None:
+        while True:
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                return
+
+    # -- chunk protocol --------------------------------------------------------
+
+    def known_trace_ids(self) -> Set[str]:
+        # Trace distribution is per-worker and handled here (shipped once
+        # per worker by digest), so the engine never attaches deltas.
+        return set(self._traces)
+
+    def submit(self, tag: int, chunk: list, trace_delta: Mapping) -> None:
+        if not self._live:
+            raise RuntimeError("submit() before start()")
+        if trace_delta:  # pragma: no cover - engine never computes one here
+            self._traces.update(trace_delta)
+        self._outstanding += 1
+        self._queue.put((self._batch, tag, chunk))
+
+    def drain(self) -> Iterator[tuple]:
+        while self._outstanding > 0:
+            batch, tag, outcome = self._results.get()
+            if isinstance(outcome, _TransportFailure):
+                # Transport failures describe the worker set, not a batch:
+                # even one left over from a cancelled batch means a thread
+                # retired, and waiting for it to serve this batch's queued
+                # chunks would hang forever.  Fail fast; the engine closes
+                # the backend and the next start() rebuilds the workers.
+                raise BackendError(outcome.message)
+            if batch != self._batch:
+                continue  # leftover result from a cancelled batch
+            self._outstanding -= 1
+            yield tag, outcome
+
+    def cancel_pending(self) -> None:
+        # Invalidate the batch: queued chunks are dropped by serving threads,
+        # in-flight results are dropped by the next drain.  Workers stay up.
+        self._batch += 1
+        self._outstanding = 0
+        self._drain_queue(self._queue)

@@ -1,56 +1,54 @@
-"""Parallel simulation job engine.
+"""Backend-independent simulation job engine.
 
 :class:`JobEngine` executes batches of :class:`~repro.runtime.job.SimulationJob`
-specs, sharding them across a :class:`concurrent.futures.ProcessPoolExecutor`
-in deterministic chunks.  Each batch first consults the optional persistent
+specs.  Each batch first consults the optional persistent
 :class:`~repro.runtime.store.ResultStore`, so only genuinely new
 (config, bug, trace, step) combinations are ever simulated; computed results
-are written back for future runs.
+are written back **as each chunk completes**, so a mid-batch failure never
+discards finished work (re-running after a failure executes only the
+unfinished jobs).
 
-With ``jobs=1`` (the default, also selectable via the ``REPRO_JOBS``
-environment variable) everything runs inline in the calling process — the
-serial fallback used by tests, CI smoke runs and one-core machines.  Serial
-and parallel execution produce bit-identical results: the simulators are
-deterministic functions of (config, bug, trace, step), and each job is
-additionally handed a deterministic content-derived seed so that future
-stochastic simulator features cannot silently diverge across workers.
+Where those jobs actually execute is a pluggable
+:class:`~repro.runtime.backends.ExecutionBackend`, selected by spec string::
 
-Two scheduling properties matter for throughput (see docs/PERFORMANCE.md):
+    JobEngine(backend="serial")                  # inline (default)
+    JobEngine(backend="local:8")                 # persistent process pool
+    JobEngine(backend="subprocess:4")            # repro-worker over stdio
+    JobEngine(backend="ssh://hostA:4,hostB:4")   # repro-worker over ssh
+    JobEngine(jobs=8)                            # sugar for "local:8"
 
-* **Persistent worker pool.**  The executor is created on first parallel use
-  and reused across ``run`` batches, so spawn-platform import costs and trace
-  shipping are paid once per engine, not once per batch.  Worker processes
-  keep a cumulative content-addressed trace table; traces a batch introduces
-  after pool creation travel as per-chunk deltas (workers ignore digests they
-  already hold).  ``close()`` — or garbage collection of the engine — shuts
-  the pool down.
+``jobs=1`` (the default) maps to ``serial``; the ``REPRO_JOBS`` and
+``REPRO_BACKEND`` environment variables supply defaults when neither
+argument is given.  Every backend produces bit-identical results: the
+simulators are deterministic functions of (config, bug, trace, step), each
+job is handed a deterministic content-derived seed, and a conformance suite
+pins serial ≡ local ≡ subprocess output.
 
-* **Cost-aware chunking.**  Jobs vary roughly an order of magnitude in cost
-  with trace length and design width, so uniform chunking leaves stragglers.
-  The default ``ljf`` scheduler bins jobs longest-first into balanced chunks
-  (cost proxy: trace length × design width) and dispatches the costliest
-  chunks first; ``uniform`` keeps the seed's input-order chunking for
-  comparison.  Chunk composition never affects results — results are matched
-  to jobs by index.
+The engine keeps what is backend-independent — store consultation,
+batch-internal dedup, cost-aware LJF / uniform chunk planning
+(see docs/PERFORMANCE.md), :class:`EngineStats`, progress reporting and
+:class:`JobFailedError` semantics — and delegates chunk execution plus trace
+distribution to the backend (see ``docs/RUNTIME.md`` and
+:mod:`repro.runtime.backends`).
 """
 
 from __future__ import annotations
 
 import inspect
 import os
-import random
 import traceback
-import weakref
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Mapping, Sequence
 
-import numpy as np
-
-from ..coresim.simulator import simulate_trace
-from ..memsim.simulator import simulate_memory_trace
-from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob
+from .backends import (
+    ExecutionBackend,
+    default_backend_spec,
+    parse_backend,
+    spec_for_jobs,
+)
+from .execution import execute_job
+from .job import SimulationJob
+from .stats import EngineStats
 from .store import ResultStore, StoredResult
 
 #: Environment variable naming the default worker count.
@@ -85,107 +83,6 @@ class JobFailedError(RuntimeError):
         )
         self.description = description
         self.remote_traceback = remote_traceback
-
-
-@dataclass
-class EngineStats:
-    """Counters describing what one :class:`JobEngine` actually did.
-
-    Beyond the seed's batch/job/store counters, the scheduling fields let
-    alternative schedulers be compared from a progress callback:
-    ``chunks`` (worker tasks dispatched), ``straggler_jobs`` (jobs in the
-    chunk that finished last in the most recent parallel batch),
-    ``pool_creates``/``pool_reuses`` (persistent-pool behaviour),
-    ``traces_shipped`` (traces sent via pool initialisation) and
-    ``trace_deltas`` (trace copies attached to chunks as deltas).
-    """
-
-    batches: int = 0
-    jobs: int = 0
-    store_hits: int = 0
-    executed: int = 0
-    chunks: int = 0
-    straggler_jobs: int = 0
-    pool_creates: int = 0
-    pool_reuses: int = 0
-    traces_shipped: int = 0
-    trace_deltas: int = 0
-
-    def reset(self) -> None:
-        self.batches = self.jobs = self.store_hits = self.executed = 0
-        self.chunks = self.straggler_jobs = 0
-        self.pool_creates = self.pool_reuses = 0
-        self.traces_shipped = self.trace_deltas = 0
-
-
-# -- worker-side machinery ---------------------------------------------------
-#
-# Each worker process keeps a cumulative content-addressed trace table.  The
-# pool initializer installs the traces known at pool-creation time; chunks
-# carry {digest: trace} deltas for traces first referenced by a later batch,
-# which workers merge in (digests they already hold are simply overwritten
-# with identical content, so the merge is idempotent).
-
-_WORKER_TRACES: dict = {}
-
-
-def _init_worker(traces: Mapping) -> None:
-    global _WORKER_TRACES
-    _WORKER_TRACES = dict(traces)
-
-
-def _execute_job(job: SimulationJob, trace) -> StoredResult:
-    """Run one job to completion on *trace* (in-process or in a worker)."""
-    # The simulators are deterministic, but seed the global RNGs from the
-    # job identity anyway so any future stochastic component stays
-    # reproducible and identical across serial/parallel execution.
-    seed = job.seed()
-    python_state = random.getstate()
-    numpy_state = np.random.get_state()
-    random.seed(seed)
-    np.random.seed(seed % 2**32)
-    try:
-        if job.study == CORE_STUDY:
-            return StoredResult.from_core(
-                simulate_trace(job.config, trace, bug=job.bug, step_cycles=job.step)
-            )
-        if job.study == MEMORY_STUDY:
-            return StoredResult.from_memory(
-                simulate_memory_trace(
-                    job.config, trace, bug=job.bug, step_instructions=job.step
-                )
-            )
-        raise ValueError(f"unknown study kind {job.study!r}")
-    finally:
-        # Leave the caller's RNG streams untouched (matters for the serial
-        # in-process path, where experiments draw from these RNGs too).
-        random.setstate(python_state)
-        np.random.set_state(numpy_state)
-
-
-@dataclass
-class _ChunkFailure:
-    """Picklable stand-in for an exception raised inside a worker."""
-
-    description: str
-    remote_traceback: str
-
-
-def _run_chunk(
-    payload: tuple[list[tuple[int, SimulationJob]], Mapping],
-) -> list[tuple[int, StoredResult]] | _ChunkFailure:
-    chunk, delta = payload
-    if delta:
-        _WORKER_TRACES.update(delta)
-    results: list[tuple[int, StoredResult]] = []
-    for index, job in chunk:
-        try:
-            results.append((index, _execute_job(job, _WORKER_TRACES[job.trace_id])))
-        except Exception:
-            # Exceptions from user bug models may not survive pickling;
-            # ship the traceback as text instead.
-            return _ChunkFailure(job.describe(), traceback.format_exc())
-    return results
 
 
 def _chunked(items: Sequence, chunk_size: int) -> list[list]:
@@ -231,37 +128,54 @@ def _progress_arity(progress: Callable | None) -> int:
     return 3 if len(positional) >= 3 else 2
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
-    pool.shutdown(wait=True, cancel_futures=True)
+def _resolve_backend(
+    jobs: "int | None", backend: "str | ExecutionBackend | None"
+) -> ExecutionBackend:
+    """Pick the backend: explicit backend > explicit jobs > env > serial."""
+    if backend is not None and jobs is not None:
+        raise ValueError("pass either jobs= or backend=, not both")
+    if backend is None:
+        if jobs is not None:
+            backend = spec_for_jobs(jobs)
+        else:
+            backend = default_backend_spec() or spec_for_jobs(default_jobs())
+    return parse_backend(backend)
 
 
 class JobEngine:
-    """Executes simulation job batches, in parallel when asked to.
+    """Executes simulation job batches on a pluggable execution backend.
 
     Parameters
     ----------
     jobs:
-        Worker process count; ``None`` reads ``REPRO_JOBS`` (default 1).
-        With 1 worker everything runs inline — no pool, no pickling.
+        Worker count sugar: ``1`` is the ``serial`` backend, ``N`` is
+        ``local:N``.  ``None`` defers to *backend*, then to the
+        ``REPRO_BACKEND`` / ``REPRO_JOBS`` environment variables (default
+        serial).  Mutually exclusive with *backend*.
+    backend:
+        Backend spec string (``"serial"``, ``"local:8"``, ``"subprocess:4"``,
+        ``"ssh://hostA:4,hostB:4"`` — see :mod:`repro.runtime.backends`) or
+        an :class:`~repro.runtime.backends.ExecutionBackend` instance.
     store:
-        Optional persistent :class:`ResultStore` consulted before and
-        updated after every batch.
+        Optional persistent :class:`ResultStore` consulted before every
+        batch and updated as results complete (so interrupted batches
+        resume instead of recomputing).
     chunk_size:
-        Jobs per worker task; ``None`` sizes chunks to roughly four tasks
-        per worker, capped at :data:`MAX_CHUNK_SIZE`.
+        Jobs per backend task; ``None`` sizes chunks to roughly four tasks
+        per worker slot, capped at :data:`MAX_CHUNK_SIZE`.
     progress:
         Optional ``callback(done, total)`` invoked as batch jobs finish
         (store hits report immediately).  A three-argument callback
         ``callback(done, total, stats)`` additionally receives the live
-        :class:`EngineStats`, exposing chunking and pool-reuse behaviour.
+        :class:`EngineStats`, exposing chunking and worker-reuse behaviour.
     scheduler:
         ``"ljf"`` (default) bins pending jobs longest-first into
         cost-balanced chunks and dispatches the costliest chunks first;
         ``"uniform"`` chunks in input order like the seed engine.
 
     The engine may be used as a context manager; ``close()`` shuts down the
-    persistent worker pool (it is also closed automatically when the engine
-    is garbage collected).
+    backend's worker set (each backend also installs its own finalizer, so
+    garbage-collecting the engine cannot leak worker processes).
     """
 
     def __init__(
@@ -271,8 +185,14 @@ class JobEngine:
         chunk_size: int | None = None,
         progress: Callable | None = None,
         scheduler: str = "ljf",
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.stats = EngineStats()
+        self.backend = _resolve_backend(jobs, backend)
+        self.backend.stats = self.stats
+        #: Worker slot count, kept for backward compatibility with the
+        #: seed's ``engine.jobs`` (chunk sizing also derives from it).
+        self.jobs = self.backend.slots
         self.store = store
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -284,69 +204,18 @@ class JobEngine:
         self.scheduler = scheduler
         self.progress = progress
         self._progress_args = _progress_arity(progress)
-        self.stats = EngineStats()
-        self._pool: ProcessPoolExecutor | None = None
-        self._pool_trace_ids: set[str] = set()
-        self._pool_finalizer: weakref.finalize | None = None
-        # Rebase bookkeeping: cumulative traces seen by this engine, the
-        # instruction cost shipped via pool initialisation, and the delta
-        # cost shipped since — when deltas outweigh the initialiser payload,
-        # the pool is rebuilt with the merged table so recurring traces stop
-        # travelling with every chunk.
-        self._all_traces: dict[str, object] = {}
-        self._initializer_cost = 0
-        self._delta_cost_since_rebase = 0
 
-    # -- pool lifecycle ---------------------------------------------------------
+    # -- lifecycle --------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
-        if self._pool is not None:
-            pool, self._pool = self._pool, None
-            self._pool_trace_ids = set()
-            if self._pool_finalizer is not None:
-                self._pool_finalizer.detach()
-                self._pool_finalizer = None
-            _shutdown_pool(pool)
+        """Shut down the backend's worker set (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "JobEngine":
         return self
 
     def __exit__(self, *_exc) -> None:
         self.close()
-
-    def _ensure_pool(self, batch_traces: Mapping) -> ProcessPoolExecutor:
-        """Return the persistent pool, creating or rebasing it as needed.
-
-        A pool is created on first parallel use with the batch's traces in
-        its initializer.  Later batches ship new traces as per-chunk deltas;
-        once the cumulative delta payload outweighs the initializer payload,
-        the pool is *rebased* — torn down and recreated with every trace
-        this engine has seen — so long-lived engines converge back to
-        shipping each trace once per worker.
-        """
-        self._all_traces.update(batch_traces)
-        if self._pool is not None and self._delta_cost_since_rebase > max(
-            1, self._initializer_cost
-        ):
-            self.close()
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(dict(self._all_traces),),
-            )
-            self._pool_trace_ids = set(self._all_traces)
-            self._initializer_cost = sum(
-                len(trace) for trace in self._all_traces.values()
-            )
-            self._delta_cost_since_rebase = 0
-            self.stats.pool_creates += 1
-            self.stats.traces_shipped += len(self._all_traces)
-            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
-        else:
-            self.stats.pool_reuses += 1
-        return self._pool
 
     # -- internals -------------------------------------------------------------
 
@@ -361,7 +230,7 @@ class JobEngine:
         pending: list[tuple[int, SimulationJob]],
         traces: Mapping,
     ) -> list[list[tuple[int, SimulationJob]]]:
-        """Split *pending* into worker chunks according to the scheduler.
+        """Split *pending* into backend chunks according to the scheduler.
 
         ``uniform`` reproduces the seed behaviour (input order, fixed size).
         ``ljf`` performs longest-processing-time binning: jobs sorted by
@@ -400,6 +269,11 @@ class JobEngine:
                 self.progress(done, total, self.stats)
             else:
                 self.progress(done, total)
+
+    def _persist(self, job: SimulationJob, result: StoredResult) -> None:
+        """Write one finished result to the store immediately (resumability)."""
+        if self.store is not None:
+            self.store.put(job.key(), result)
 
     # -- API -------------------------------------------------------------------
 
@@ -445,23 +319,24 @@ class JobEngine:
         self._report(total - len(pending) - len(duplicates), total)
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
+            # A single pending job skips worker spin-up and runs inline —
+            # but only for local backends: a remote backend was chosen to
+            # place work *elsewhere*, so even one job goes through it.
+            if self.backend.inline or (len(pending) == 1 and not self.backend.remote):
                 done = total - len(pending) - len(duplicates)
                 for index, job in pending:
                     try:
-                        results[index] = _execute_job(job, traces[job.trace_id])
+                        results[index] = execute_job(job, traces[job.trace_id])
                     except Exception as exc:
                         raise JobFailedError(
                             job.describe(), traceback.format_exc()
                         ) from exc
+                    self._persist(job, results[index])
                     done += 1
                     self._report(done, total)
             else:
                 self._run_parallel(pending, traces, results, total, len(duplicates))
             self.stats.executed += len(pending)
-            if self.store is not None:
-                for index, job in pending:
-                    self.store.put(job.key(), results[index])
 
         for index, source in duplicates:
             results[index] = results[source]
@@ -479,54 +354,53 @@ class JobEngine:
     ) -> None:
         needed_ids = {job.trace_id for _, job in pending}
         batch_traces = {tid: traces[tid] for tid in needed_ids}
-        pool = self._ensure_pool(batch_traces)
-        known_ids = self._pool_trace_ids
+        backend = self.backend
+        backend.start(batch_traces)
+        known_ids = backend.known_trace_ids()
+        job_of_index = dict(pending)
         chunks = self._plan_chunks(pending, traces)
         self.stats.chunks += len(chunks)
         done = total - len(pending) - num_duplicates
 
-        futures = {}
-        unfinished: set = set()
         try:
-            for chunk in chunks:
+            for tag, chunk in enumerate(chunks):
                 # Per-chunk trace delta: whatever this chunk references that
-                # the pool's trace table does not hold.  Workers merge deltas
-                # into their cumulative table; once the delta payload this
-                # engine has shipped outweighs the initializer payload, the
-                # next `_ensure_pool` rebases the pool (see there).
+                # the backend's workers do not already hold.  Backends that
+                # distribute traces themselves (remote) report everything as
+                # known and receive empty deltas.
                 delta = {
                     tid: batch_traces[tid]
                     for tid in {job.trace_id for _, job in chunk}
                     if tid not in known_ids
                 }
                 self.stats.trace_deltas += len(delta)
-                self._delta_cost_since_rebase += sum(
-                    len(trace) for trace in delta.values()
-                )
-                futures[pool.submit(_run_chunk, (chunk, delta))] = chunk
+                backend.submit(tag, chunk, delta)
 
-            unfinished = set(futures)
-            while unfinished:
-                finished, unfinished = wait(unfinished, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    outcome = future.result()
-                    if isinstance(outcome, _ChunkFailure):
-                        raise JobFailedError(
-                            outcome.description, outcome.remote_traceback
-                        )
-                    for index, stored in outcome:
-                        results[index] = stored
-                        done += 1
-                    self.stats.straggler_jobs = len(futures[future])
-                    self._report(done, total)
+            outstanding = len(chunks)
+            for tag, (chunk_results, failure) in backend.drain():
+                outstanding -= 1
+                # Persist whatever the chunk finished — including the jobs
+                # that completed before a failure — so an interrupted batch
+                # resumes instead of recomputing.
+                for index, stored in chunk_results:
+                    results[index] = stored
+                    self._persist(job_of_index[index], stored)
+                    done += 1
+                if failure is not None:
+                    raise JobFailedError(failure.description, failure.remote_traceback)
+                self.stats.straggler_jobs = len(chunks[tag])
+                self._report(done, total)
+                if outstanding == 0:
+                    break
         except JobFailedError:
-            # The pool itself is healthy (failures travel as values); cancel
-            # whatever has not started and keep the pool for the next batch.
-            for future in unfinished:
-                future.cancel()
+            # The workers themselves are healthy (job failures travel as
+            # values): drop what has not started and keep the backend warm
+            # for the next batch.
+            backend.cancel_pending()
             raise
         except BaseException:
-            # Pool-level failure (e.g. a worker died): tear the pool down so
-            # the next batch starts from a clean slate.
-            self.close()
+            # Backend-level failure (worker death, lost connection,
+            # KeyboardInterrupt): tear the worker set down so the next
+            # batch starts from a clean slate.
+            backend.close()
             raise

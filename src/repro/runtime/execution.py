@@ -1,0 +1,86 @@
+"""Job execution shared by every backend: inline, pool worker, remote worker.
+
+One :class:`~repro.runtime.job.SimulationJob` always executes the same way —
+deterministic RNG seeding from the job identity, dispatch on the study kind,
+RNG state restored afterwards — no matter which
+:class:`~repro.runtime.backends.ExecutionBackend` is driving it.  This module
+is the single implementation all of them call, so serial, local-pool and
+remote execution cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..coresim.simulator import simulate_trace
+from ..memsim.simulator import simulate_memory_trace
+from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob
+from .store import StoredResult
+
+
+def execute_job(job: SimulationJob, trace) -> StoredResult:
+    """Run one job to completion on *trace* (in-process or in a worker)."""
+    # The simulators are deterministic, but seed the global RNGs from the
+    # job identity anyway so any future stochastic component stays
+    # reproducible and identical across serial/parallel execution.
+    seed = job.seed()
+    python_state = random.getstate()
+    numpy_state = np.random.get_state()
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+    try:
+        if job.study == CORE_STUDY:
+            return StoredResult.from_core(
+                simulate_trace(job.config, trace, bug=job.bug, step_cycles=job.step)
+            )
+        if job.study == MEMORY_STUDY:
+            return StoredResult.from_memory(
+                simulate_memory_trace(
+                    job.config, trace, bug=job.bug, step_instructions=job.step
+                )
+            )
+        raise ValueError(f"unknown study kind {job.study!r}")
+    finally:
+        # Leave the caller's RNG streams untouched (matters for the serial
+        # in-process path, where experiments draw from these RNGs too).
+        random.setstate(python_state)
+        np.random.set_state(numpy_state)
+
+
+@dataclass
+class ChunkFailure:
+    """Picklable stand-in for an exception raised while executing a job."""
+
+    description: str
+    remote_traceback: str
+
+
+#: What executing one chunk produces: the results of every job that finished
+#: (in chunk order) plus the failure that stopped the chunk, if any.  Jobs
+#: completed before the failure are preserved so the engine can persist them
+#: (resumable batches) even when a later job in the same chunk explodes.
+ChunkOutcome = "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]"
+
+
+def run_chunk_items(
+    chunk: Sequence["tuple[int, SimulationJob]"], traces: Mapping
+) -> "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]":
+    """Execute every ``(index, job)`` in *chunk* against the *traces* table.
+
+    Stops at the first failing job, returning the results completed so far
+    together with a :class:`ChunkFailure` carrying the formatted traceback
+    (exceptions from user bug models may not survive pickling, so the
+    traceback ships as text).
+    """
+    results: list[tuple[int, StoredResult]] = []
+    for index, job in chunk:
+        try:
+            results.append((index, execute_job(job, traces[job.trace_id])))
+        except Exception:
+            return results, ChunkFailure(job.describe(), traceback.format_exc())
+    return results, None

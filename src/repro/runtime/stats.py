@@ -1,0 +1,44 @@
+"""Observable counters describing what one :class:`JobEngine` actually did.
+
+Lives in its own module (rather than in :mod:`repro.runtime.engine`) because
+both the engine and every :class:`~repro.runtime.backends.ExecutionBackend`
+update the same stats object: the engine owns the batch/job/store/chunking
+counters, the backend owns the worker-lifecycle and trace-shipping counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what one :class:`JobEngine` actually did.
+
+    Beyond the seed's batch/job/store counters, the scheduling fields let
+    alternative schedulers and backends be compared from a progress callback:
+    ``chunks`` (backend tasks dispatched), ``straggler_jobs`` (jobs in the
+    chunk that finished last in the most recent parallel batch),
+    ``pool_creates``/``pool_reuses`` (worker-set lifecycle: pool or remote
+    worker creation vs reuse across batches), ``traces_shipped`` (traces
+    sent to workers at worker start-up — once per worker for remote
+    backends) and ``trace_deltas`` (trace copies attached to chunks as
+    deltas).
+    """
+
+    batches: int = 0
+    jobs: int = 0
+    store_hits: int = 0
+    executed: int = 0
+    chunks: int = 0
+    straggler_jobs: int = 0
+    pool_creates: int = 0
+    pool_reuses: int = 0
+    traces_shipped: int = 0
+    trace_deltas: int = 0
+
+    def reset(self) -> None:
+        self.batches = self.jobs = self.store_hits = self.executed = 0
+        self.chunks = self.straggler_jobs = 0
+        self.pool_creates = self.pool_reuses = 0
+        self.traces_shipped = self.trace_deltas = 0

@@ -278,6 +278,32 @@ class ResultStore:
         if self.max_entries is not None:
             self._evict(fresh=entry)
 
+    # -- merge -----------------------------------------------------------------
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Copy every entry absent here from *other*; returns the count.
+
+        Entries are content-addressed by job key, so merging stores produced
+        by different runs (or machines) is always safe: equal keys hold
+        equal payloads.  Keys already present locally are kept as-is.
+        Corrupt source entries are skipped (and dropped from *other*, per
+        the standard read path).  Each copy goes through the normal
+        :meth:`put`, so this store's ``max_entries`` eviction policy is
+        honoured and every merged entry is re-validated on the way in.
+        """
+        if other.path.resolve() == self.path.resolve():
+            raise ValueError("cannot merge a store into itself")
+        merged = 0
+        for key in other.keys():
+            if key in self:
+                continue
+            result = other.get(key)
+            if result is None:  # corrupt or concurrently removed: skip
+                continue
+            self.put(key, result)
+            merged += 1
+        return merged
+
     def _evict(self, fresh: Path | None = None) -> None:
         """Drop the oldest entries once the soft capacity is exceeded.
 

@@ -1,0 +1,100 @@
+"""``repro-store``: result-store maintenance CLI.
+
+The :class:`~repro.runtime.store.ResultStore` is content-addressed by
+(config, bug, trace, step), so stores produced by different runs, machines
+or CI shards can always be combined — the first slice of cross-run result
+sharing.  Usage::
+
+    repro-store merge SRC... DST            # fold one or more stores into DST
+    repro-store merge --max-entries N SRC DST
+    repro-store info PATH...                # entry counts per store
+
+``merge`` copies every entry absent from DST (creating it if needed),
+re-validating each payload on the way in; corrupt source entries are
+skipped and reported.  ``--max-entries`` applies DST's normal
+least-recently-modified eviction policy while merging.  A subsequent
+experiment run against the merged store re-simulates nothing
+(``executed=0``) for any job either source had computed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .store import ResultStore
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    destination_path = Path(args.stores[-1])
+    sources = [Path(p) for p in args.stores[:-1]]
+    for source in sources:
+        if not source.is_dir():
+            print(f"error: source store {source} does not exist")
+            return 2
+    destination = ResultStore(destination_path, max_entries=args.max_entries)
+    total = 0
+    for source_path in sources:
+        source = ResultStore(source_path)
+        before = len(source)
+        try:
+            merged = destination.merge_from(source)
+        except ValueError as exc:  # e.g. a source that IS the destination
+            print(f"error: {exc} ({source_path})")
+            return 2
+        total += merged
+        skipped = source.stats.corrupt
+        line = f"  {source_path}: merged {merged}/{before} entries"
+        if skipped:
+            line += f" ({skipped} corrupt skipped)"
+        print(line)
+    print(
+        f"{destination_path}: {len(destination)} entries "
+        f"(+{total} merged, {destination.stats.evicted} evicted)"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    for path in args.stores:
+        if not Path(path).is_dir():
+            print(f"{path}: not a store directory")
+            continue
+        store = ResultStore(path)
+        swept = f", {store.stats.tmp_swept} stale tmp swept" if store.stats.tmp_swept else ""
+        print(f"{path}: {len(store)} entries{swept}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-store", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    merge = commands.add_parser(
+        "merge", help="fold one or more source stores into a destination store"
+    )
+    merge.add_argument(
+        "stores", nargs="+", metavar="STORE",
+        help="source store directories followed by the destination (last)",
+    )
+    merge.add_argument(
+        "--max-entries", type=int, default=None,
+        help="apply the destination's eviction policy at this soft capacity",
+    )
+    merge.set_defaults(func=_cmd_merge)
+
+    info = commands.add_parser("info", help="show entry counts per store")
+    info.add_argument("stores", nargs="+", metavar="STORE")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    if args.command == "merge" and len(args.stores) < 2:
+        merge.error("merge needs at least one SRC and one DST")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""``repro-worker``: serve simulation chunks over the stdio frame protocol.
+
+The executable half of the remote execution backend
+(:mod:`repro.runtime.backends.remote`): a driver spawns this process —
+locally (``subprocess:N``) or via ``ssh host repro-worker`` (``ssh://``) —
+and drives it through length-prefixed pickle frames on stdin/stdout.
+
+Session shape::
+
+    driver -> ("hello", {"protocol": V})          # versioned handshake
+    worker -> ("hello", {"protocol": V, ...})     # or ("error", msg) + exit 2
+    driver -> ("traces", {digest: trace})         # each trace ships once
+    driver -> ("chunk", (tag, [(index, job), ...]))
+    worker -> ("result", (tag, outcome))          # ChunkOutcome
+    ...                                           # more traces/chunks
+    driver -> ("shutdown", None)                  # or EOF; worker exits 0
+
+The worker keeps a cumulative content-addressed trace table for the whole
+session, so each trace crosses the wire once per worker no matter how many
+chunks reference it.  Job-level exceptions are returned *inside* outcomes
+(as :class:`~repro.runtime.execution.ChunkFailure`); only protocol-level
+problems end the session with an ``error`` frame and a non-zero exit.
+
+Never prints to stdout: the frame stream owns it.  ``sys.stdout`` is
+rebound to stderr on startup so stray prints from simulator or bug-model
+code cannot corrupt the framing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+
+from .backends.remote import (
+    CHUNK,
+    ERROR,
+    HELLO,
+    PROTOCOL_VERSION,
+    RESULT,
+    SHUTDOWN,
+    TRACES,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from .execution import run_chunk_items
+
+
+def serve(stdin, stdout) -> int:
+    """Run one worker session over the given binary streams."""
+    try:
+        frame = read_frame(stdin)
+    except ProtocolError as exc:
+        write_frame(stdout, ERROR, f"handshake failed: {exc}")
+        return 2
+    kind, payload = frame
+    version = payload.get("protocol") if isinstance(payload, dict) else None
+    if kind != HELLO or version != PROTOCOL_VERSION:
+        write_frame(
+            stdout,
+            ERROR,
+            f"protocol version mismatch: driver sent {kind!r} v{version!r}, "
+            f"worker speaks v{PROTOCOL_VERSION}",
+        )
+        return 2
+    write_frame(
+        stdout,
+        HELLO,
+        {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "python": platform.python_version(),
+            "host": platform.node(),
+        },
+    )
+
+    traces: dict[str, object] = {}
+    while True:
+        try:
+            frame = read_frame(stdin, allow_eof=True)
+        except ProtocolError as exc:
+            write_frame(stdout, ERROR, f"bad frame: {exc}")
+            return 2
+        if frame is None:  # driver closed the connection
+            return 0
+        kind, payload = frame
+        if kind == TRACES:
+            traces.update(payload)
+        elif kind == CHUNK:
+            tag, chunk = payload
+            write_frame(stdout, RESULT, (tag, run_chunk_items(chunk, traces)))
+        elif kind == SHUTDOWN:
+            return 0
+        else:
+            write_frame(stdout, ERROR, f"unexpected frame kind {kind!r}")
+            return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.parse_args(argv)
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # The frame stream owns the real stdout; reroute stray prints to stderr.
+    sys.stdout = sys.stderr
+    return serve(stdin, stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -410,9 +410,14 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["single"]["counter_equivalence_checked"]
         assert report["single"]["aggregate_speedup"] > 1.0
         assert set(report["engine"]["schedulers"]) == {"ljf", "uniform"}
+        assert report["engine"]["backend"] == "local:2"
+        assert all(
+            row["backend"] == "local:2"
+            for row in report["engine"]["schedulers"].values()
+        )
         assert report["store"]["warm_store_hits"] == report["store"]["jobs"]
         assert report["store"]["cold_executed"] == report["store"]["jobs"]

@@ -384,6 +384,188 @@ class TestResultStore:
         assert len(store) == 1  # resynced from disk, not guessed
 
 
+class TestResumableBatches:
+    """A mid-batch failure must not discard finished work (store-backed)."""
+
+    def _good_jobs(self, registry, tiny_trace, configs=("Skylake", "K8", "Cedarview")):
+        trace_id = registry.register(tiny_trace)
+        return [
+            SimulationJob(study="core", config=core_microarch(name), bug=None,
+                          trace_id=trace_id, step=256)
+            for name in configs
+        ]
+
+    def test_serial_rerun_executes_only_unfinished_jobs(
+        self, registry, tiny_trace, tmp_path
+    ):
+        trace_id = registry.register(tiny_trace)
+        good = self._good_jobs(registry, tiny_trace)
+        boom = SimulationJob(study="core", config=core_microarch("Skylake"),
+                             bug=ExplodingBug(), trace_id=trace_id, step=256)
+        store = ResultStore(tmp_path / "store")
+        # Serial execution preserves input order: good[0], good[1] finish
+        # (and are persisted immediately), then the third job explodes.
+        with pytest.raises(JobFailedError):
+            JobEngine(jobs=1, store=store).run(
+                [good[0], good[1], boom, good[2]], registry.traces
+            )
+        assert good[0].key() in store
+        assert good[1].key() in store
+        assert good[2].key() not in store
+
+        rerun = JobEngine(jobs=1, store=store)
+        results = rerun.run(good, registry.traces)
+        assert rerun.stats.store_hits == 2
+        assert rerun.stats.executed == 1  # only the unfinished job
+        fresh = JobEngine(jobs=1).run(good, registry.traces)
+        _assert_results_equal(results, fresh)
+
+    def test_parallel_partial_chunk_results_survive_failure(
+        self, registry, tiny_trace, tmp_path
+    ):
+        trace_id = registry.register(tiny_trace)
+        good = self._good_jobs(registry, tiny_trace)
+        boom = SimulationJob(study="core", config=core_microarch("Skylake"),
+                             bug=ExplodingBug(), trace_id=trace_id, step=256)
+        store = ResultStore(tmp_path / "store")
+        # One chunk holds everything: the jobs completed before the failing
+        # one must still be persisted from the partial chunk outcome.
+        with pytest.raises(JobFailedError):
+            JobEngine(jobs=2, chunk_size=8, store=store).run(
+                good + [boom] + self._good_jobs(registry, tiny_trace, ("Broadwell",)),
+                registry.traces,
+            )
+        assert all(job.key() in store for job in good)
+
+        rerun = JobEngine(jobs=2, chunk_size=8, store=store)
+        results = rerun.run(good, registry.traces)
+        assert rerun.stats.store_hits == len(good)
+        assert rerun.stats.executed == 0
+        fresh = JobEngine(jobs=1).run(good, registry.traces)
+        _assert_results_equal(results, fresh)
+
+    def test_parallel_rerun_consistency_after_failure(
+        self, registry, tiny_trace, tmp_path
+    ):
+        trace_id = registry.register(tiny_trace)
+        good = self._good_jobs(registry, tiny_trace) + self._good_jobs(
+            registry, tiny_trace, ("Broadwell",)
+        )
+        boom = SimulationJob(study="core", config=core_microarch("Skylake"),
+                             bug=ExplodingBug(), trace_id=trace_id, step=256)
+        store = ResultStore(tmp_path / "store")
+        with JobEngine(jobs=2, chunk_size=1, store=store) as engine:
+            with pytest.raises(JobFailedError):
+                engine.run(good + [boom], registry.traces)
+        # Chunk completion order is nondeterministic, but whatever finished
+        # was persisted, and the re-run executes exactly the remainder.
+        rerun = JobEngine(jobs=1, store=store)
+        results = rerun.run(good, registry.traces)
+        assert rerun.stats.store_hits + rerun.stats.executed == len(good)
+        assert rerun.stats.executed <= len(good)
+        fresh = JobEngine(jobs=1).run(good, registry.traces)
+        _assert_results_equal(results, fresh)
+
+
+class TestStoreMerge:
+    @staticmethod
+    def _tiny_result():
+        return StoredResult(
+            study="core", config_name="X", bug_name="bug-free",
+            instructions=8, cycles=16.0, amat=0.0, step=256,
+            counters={"c": np.arange(4.0)}, ipc=np.ones(4),
+        )
+
+    def test_merge_disjoint_stores_then_replay_executes_zero(
+        self, registry, tiny_trace, tmp_path
+    ):
+        jobs = _core_jobs(registry, tiny_trace)
+        first_half, second_half = jobs[:2], jobs[2:]
+        store_a = ResultStore(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        JobEngine(jobs=1, store=store_a).run(first_half, registry.traces)
+        JobEngine(jobs=1, store=store_b).run(second_half, registry.traces)
+
+        merged = ResultStore(tmp_path / "merged")
+        assert merged.merge_from(store_a) == len(first_half)
+        assert merged.merge_from(store_b) == len(second_half)
+        assert len(merged) == len(jobs)
+
+        replay = JobEngine(jobs=1, store=merged)
+        results = replay.run(jobs, registry.traces)
+        assert replay.stats.executed == 0
+        assert replay.stats.store_hits == len(jobs)
+        _assert_results_equal(results, JobEngine(jobs=1).run(jobs, registry.traces))
+
+    def test_merge_skips_corrupt_and_existing_entries(self, tmp_path):
+        source = ResultStore(tmp_path / "src")
+        source.put("aa0", self._tiny_result())
+        source.put("bb1", self._tiny_result())
+        (source.path / "cc2.npz").write_bytes(b"not a zip archive")
+        destination = ResultStore(tmp_path / "dst")
+        destination.put("aa0", self._tiny_result())  # already present
+
+        merged = destination.merge_from(source)
+        assert merged == 1  # bb1 only: aa0 existed, cc2 was corrupt
+        assert source.stats.corrupt == 1
+        assert sorted(destination.keys()) == ["aa0", "bb1"]
+
+    def test_merge_honours_eviction_limit(self, tmp_path):
+        source = ResultStore(tmp_path / "src")
+        for index in range(4):
+            source.put(f"k{index}", self._tiny_result())
+        destination = ResultStore(tmp_path / "dst", max_entries=2)
+        destination.merge_from(source)
+        assert len(destination) == 2
+        assert destination.stats.evicted == 2
+
+    def test_merge_into_itself_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        other = ResultStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.merge_from(other)
+
+    def test_cli_merge_and_info(self, registry, tiny_trace, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        jobs = _core_jobs(registry, tiny_trace)
+        store_a = ResultStore(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        JobEngine(jobs=1, store=store_a).run(jobs[:2], registry.traces)
+        JobEngine(jobs=1, store=store_b).run(jobs[2:], registry.traces)
+
+        code = store_main([
+            "merge", str(tmp_path / "a"), str(tmp_path / "b"),
+            str(tmp_path / "merged"),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"merged 2/2" in output
+
+        replay = JobEngine(jobs=1, store=ResultStore(tmp_path / "merged"))
+        replay.run(jobs, registry.traces)
+        assert replay.stats.executed == 0
+
+        assert store_main(["info", str(tmp_path / "merged")]) == 0
+        assert "4 entries" in capsys.readouterr().out
+
+    def test_cli_merge_missing_source_fails(self, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        code = store_main(["merge", str(tmp_path / "nope"), str(tmp_path / "dst")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_cli_merge_into_itself_fails_cleanly(self, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        store = ResultStore(tmp_path / "store")
+        store.put("aa0", self._tiny_result())
+        code = store_main(["merge", str(tmp_path / "store"), str(tmp_path / "store")])
+        assert code == 2
+        assert "cannot merge a store into itself" in capsys.readouterr().out
+
+
 class TestCacheIntegration:
     def test_warm_parallel_matches_serial_observations(self):
         probes = build_probes(["458.sjeng"], instructions_per_benchmark=4000,
