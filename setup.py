@@ -24,7 +24,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"

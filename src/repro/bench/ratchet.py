@@ -49,6 +49,22 @@ def read_speedup(path: "str | Path") -> float:
     return float(report["single"]["aggregate_speedup"])
 
 
+def read_batch_speedup(path: "str | Path") -> "float | None":
+    """The ``batch.aggregate_speedup`` column (None for pre-v3 reports).
+
+    The vector-kernel batch column is *recorded and tracked*, not gated:
+    its ratio is far more sensitive to host cache/core topology than the
+    single-thread headline, so the ratchet reports its trajectory while
+    regressing only on the stable single-thread number.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    batch = report.get("batch")
+    if not batch:
+        return None
+    return float(batch["aggregate_speedup"])
+
+
 @dataclass
 class RatchetResult:
     """Outcome of one ratchet evaluation."""
@@ -127,10 +143,20 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     speedups = []
+    batches = []
     for path in args.reports:
         speedup = read_speedup(path)
         speedups.append(speedup)
-        print(f"  {path}: {speedup:g}x")
+        batch = read_batch_speedup(path)
+        if batch is not None:
+            batches.append(batch)
+        batch_note = f", batch(vector) {batch:g}x" if batch is not None else ""
+        print(f"  {path}: {speedup:g}x{batch_note}")
+    if batches:
+        print(
+            f"  batch(vector) median {statistics.median(batches):g}x "
+            "(tracked, not gated)"
+        )
 
     previous = None
     if args.previous is not None:

@@ -5,7 +5,16 @@ from .caches import Cache, CacheHierarchy
 from .counters import CounterTimeSeries, TimeSeriesSampler, derived_counters
 from .hooks import BUG_FREE, CoreBugModel, DispatchContext
 from .pipeline import O3Pipeline, PipelineError
-from .simulator import DEFAULT_STEP_CYCLES, SimulationResult, simulate_trace
+from .simulator import (
+    DEFAULT_STEP_CYCLES,
+    KERNEL_ENV_VAR,
+    KERNELS,
+    SimulationResult,
+    resolve_kernel,
+    simulate_trace,
+    simulate_trace_batch,
+)
+from .vector import simulate_batch, supports_vector
 
 __all__ = [
     "BranchPredictor",
@@ -21,5 +30,11 @@ __all__ = [
     "PipelineError",
     "SimulationResult",
     "simulate_trace",
+    "simulate_trace_batch",
+    "simulate_batch",
+    "supports_vector",
+    "resolve_kernel",
     "DEFAULT_STEP_CYCLES",
+    "KERNEL_ENV_VAR",
+    "KERNELS",
 ]

@@ -4,11 +4,26 @@
 experiments and the examples.  It wraps :class:`~repro.coresim.pipeline.O3Pipeline`
 and packages the sampled counter time series plus whole-run aggregates into a
 :class:`SimulationResult`.
+
+Two counter-bit-identical kernels back it (see docs/PERFORMANCE.md):
+
+* ``"scalar"`` — the per-trace :class:`O3Pipeline` cycle loop (the default);
+* ``"vector"`` — the numpy-batched lockstep kernel of
+  :mod:`repro.coresim.vector`, which simulates many probes of the same
+  design at once.  :func:`simulate_trace_batch` is its natural entry point;
+  ``simulate_trace(..., kernel="vector")`` runs a batch of one.
+
+Kernel selection: the explicit ``kernel=`` argument wins, then the
+``REPRO_KERNEL`` environment variable, then ``"scalar"``.  Bug models that
+override dynamic hooks always fall back to the scalar kernel regardless of
+the selection (the vector kernel cannot honour per-cycle hooks).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -22,6 +37,21 @@ from .pipeline import O3Pipeline
 #: Default time-step size in cycles.  The paper uses 500 k cycles on ~10 M
 #: instruction SimPoints; probes here are scaled down proportionally.
 DEFAULT_STEP_CYCLES = 2048
+
+#: Environment variable naming the default simulation kernel.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Kernel names understood by :func:`simulate_trace`.
+KERNELS = ("scalar", "vector")
+
+
+def resolve_kernel(kernel: "str | None" = None) -> str:
+    """The effective kernel name: argument, else ``REPRO_KERNEL``, else scalar."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR, "").strip() or "scalar"
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown simulation kernel {kernel!r}; available: {KERNELS}")
+    return kernel
 
 
 @dataclass
@@ -55,6 +85,7 @@ def simulate_trace(
     bug: CoreBugModel | None = None,
     step_cycles: int = DEFAULT_STEP_CYCLES,
     warmup: bool = True,
+    kernel: "str | None" = None,
 ) -> SimulationResult:
     """Simulate *trace* on *config*, optionally with an injected *bug*.
 
@@ -75,7 +106,18 @@ def simulate_trace(
     warmup:
         Functionally warm caches and branch predictors before the timed run,
         compensating for the scaled-down probe length (see DESIGN.md §2).
+    kernel:
+        ``"scalar"``, ``"vector"`` or ``None`` (use ``REPRO_KERNEL``, default
+        scalar).  Both kernels are counter-bit-identical; bug models that
+        override dynamic hooks silently use the scalar kernel.
     """
+    if resolve_kernel(kernel) == "vector":
+        from .vector import simulate_batch, supports_vector
+
+        if supports_vector(bug):
+            return simulate_batch(
+                config, [trace], bug=bug, step_cycles=step_cycles, warmup=warmup
+            )[0]
     pipeline = O3Pipeline(config, bug=bug, step_cycles=step_cycles)
     if warmup:
         pipeline.warmup(trace)
@@ -87,3 +129,39 @@ def simulate_trace(
         cycles=pipeline.cycle,
         series=series,
     )
+
+
+def simulate_trace_batch(
+    config: MicroarchConfig,
+    traces: "Sequence[list[MicroOp] | DecodedTrace]",
+    bug: CoreBugModel | None = None,
+    step_cycles: int = DEFAULT_STEP_CYCLES,
+    warmup: bool = True,
+    kernel: "str | None" = None,
+) -> "list[SimulationResult]":
+    """Simulate many probes of one design, batching when the kernel allows.
+
+    With the ``vector`` kernel (and a vector-eligible bug model) all traces
+    advance in one numpy lockstep pass — the batched fast path the runtime's
+    same-config job grouping and ``repro-bench`` exercise.  Otherwise this
+    is exactly a loop over :func:`simulate_trace`.  Results are identical
+    either way, in input order.
+    """
+    if resolve_kernel(kernel) == "vector":
+        from .vector import simulate_batch, supports_vector
+
+        if supports_vector(bug):
+            return simulate_batch(
+                config, list(traces), bug=bug, step_cycles=step_cycles, warmup=warmup
+            )
+    return [
+        simulate_trace(
+            config,
+            trace,
+            bug=bug,
+            step_cycles=step_cycles,
+            warmup=warmup,
+            kernel="scalar",
+        )
+        for trace in traces
+    ]

@@ -1,0 +1,1612 @@
+"""Numpy-batched lockstep simulation kernel.
+
+:func:`simulate_batch` runs *B* independent probe traces on **one**
+:class:`~repro.uarch.config.MicroarchConfig` in lockstep: every piece of
+per-cycle machine state — scoreboard pending counts, issue-queue membership,
+ROB head/tail pointers, cache tag/LRU arrays, port masks, counter
+accumulators — lives in ``(B, ...)`` numpy arrays, so one Python-level cycle
+step advances the whole batch.  Per-lane retirement masks handle ragged trace
+lengths; a lane that finishes early is masked out and finalised while the
+rest of the batch keeps stepping.
+
+The kernel is **bit-identical** to the scalar
+:class:`~repro.coresim.pipeline.O3Pipeline` (and therefore to the frozen
+seed pipeline in :mod:`repro.coresim._reference`): same cycle counts, same
+sampled counter name sets, same sampled values.  That identity is pinned by
+``tests/test_perf_equivalence.py``, the pinned golden digests in
+``tests/data`` and the differential fuzz suite in
+``tests/test_differential.py``.
+
+Why lockstep can be exact *and* fast
+------------------------------------
+
+The scalar pipeline pays Python-interpreter cost per dynamic instruction per
+stage.  Three structural facts let the batched kernel replace almost all of
+that with O(1)-per-cycle vector arithmetic:
+
+* **Fetch, dispatch and commit are in program order.**  The ROB is always a
+  contiguous window ``[commit_head, dispatch_ptr)`` of trace indices, so
+  LSQ occupancy, free rename registers, per-class commit counters, fetched
+  branch counts — everything the scalar model tracks per op — are differences
+  of per-trace *prefix-sum arrays* computed once per trace.
+* **Branch prediction is timing-independent.**  The predictor is consulted
+  at fetch, in trace order, so the per-branch outcomes (and the cumulative
+  predictor statistics after every branch) are precomputed per lane with the
+  real :class:`~repro.coresim.branch.BranchPredictor` before the cycle loop.
+* **Register dependencies are static.**  The producer of each source
+  operand is the last earlier writer of that register, a pure function of
+  the trace; the consumer lists walked at writeback are a precomputed CSR.
+  Store-to-load forwarding likewise reduces to comparing the precomputed
+  "last earlier store to the same address" ordinal against the committed
+  store count.
+
+The data-dependent parts that remain per cycle — issue selection in
+sequence order with port allocation, cache lookups, writeback wake-up — are
+done with masked vector operations over the batch.  L1 and L2 are dense
+``(B, sets, ways)`` tag/tick arrays with true-LRU exactly mirroring
+:class:`~repro.coresim.caches.Cache`; L3 (up to a million entries per lane)
+stays a per-lane dict-based :class:`Cache` and is only touched on the rare
+L2 miss, which also keeps it bit-identical by construction.
+
+Supported bug models
+--------------------
+
+Only bug models whose overridden hooks are *structural* — evaluated once at
+construction (``register_reduction``, ``bp_table_entries``) — are eligible;
+anything that overrides a scheduling or cache hook (``serialize``,
+``issue_only_if_oldest``, ``oldest_blocks_others``, ``extra_issue_delay``,
+``branch_extra_penalty``, ``cache_extra_latency``) falls back to the scalar
+kernel, per the hook contract in docs/PERFORMANCE.md.  Use
+:func:`supports_vector` to test eligibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..uarch.config import MicroarchConfig
+from ..workloads.decoded import DecodedTrace, decode_trace
+from ..workloads.isa import NUM_ARCH_REGS, OpClass
+from .branch import BranchPredictor
+from .caches import CacheHierarchy
+from .counters import CounterTimeSeries, TimeSeriesSampler
+from .hooks import BUG_FREE, CoreBugModel
+from .pipeline import BASE_REDIRECT_PENALTY, MAX_CYCLES_PER_INSTRUCTION, PipelineError
+
+_INT_DIV = int(OpClass.INT_DIV)
+_FP_ALU = int(OpClass.FP_ALU)
+_FP_DIV = int(OpClass.FP_DIV)
+_VECTOR = int(OpClass.VECTOR)
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_NUM_CLASSES = len(OpClass)
+
+#: Sentinel marking empty slots in the eligible-op buffer (larger than any
+#: trace index).
+_SENT = np.int64(2**62)
+
+#: Hooks a bug model may override and still run on the vector kernel: they
+#: are evaluated once at construction, never per cycle.
+VECTOR_SAFE_HOOKS = frozenset(
+    {"on_simulation_start", "register_reduction", "bp_table_entries"}
+)
+
+#: Every hook the scalar pipeline may consult dynamically.
+_DYNAMIC_HOOKS = (
+    "serialize",
+    "issue_only_if_oldest",
+    "oldest_blocks_others",
+    "extra_issue_delay",
+    "branch_extra_penalty",
+    "cache_extra_latency",
+)
+
+#: Hard cap on lanes simulated per lockstep pass; larger batches are split.
+DEFAULT_MAX_LANES = 512
+
+#: Target total (lanes x trace-length) cells per pass.  The per-step Python
+#: overhead of the lockstep loop is independent of the lane count, so wider
+#: batches amortise it better; the cap keeps per-batch memory bounded
+#: (under ~60 bytes per cell across all state arrays).
+_CELL_BUDGET = 4_000_000
+
+
+def supports_vector(bug: "CoreBugModel | None") -> bool:
+    """True if *bug* (or ``None``) may run on the batched vector kernel.
+
+    Eligibility is the same class-level override detection the scalar
+    pipeline uses for hook hoisting: a model that leaves every dynamic hook
+    at the :class:`CoreBugModel` default never perturbs per-cycle behaviour,
+    so the vector kernel only needs its structural hooks (evaluated once).
+    """
+    if bug is None:
+        return True
+    bug_type = type(bug)
+    for hook in _DYNAMIC_HOOKS:
+        if getattr(bug_type, hook) is not getattr(CoreBugModel, hook):
+            return False
+    return True
+
+
+def _max_lanes_for(length: int, requested: "int | None") -> int:
+    """Lane cap for traces of *length* (memory stays ~O(200 MB) worst case)."""
+    if requested is not None:
+        return max(1, requested)
+    return max(16, min(DEFAULT_MAX_LANES, _CELL_BUDGET // max(1, length)))
+
+
+# ---------------------------------------------------------------------------
+# Per-trace static decode (config-independent, cached by content digest)
+# ---------------------------------------------------------------------------
+
+
+class _TraceStatic:
+    """Timing-independent per-trace arrays consumed by the lockstep loop."""
+
+    __slots__ = (
+        "n",
+        "op_class",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_brclass",
+        "has_dest",
+        "address",
+        "srcs",
+        "prod",
+        "cons_off",
+        "cons_data",
+        "last_store_ord",
+        "p_mem",
+        "p_dest",
+        "p_brclass",
+        "p_load",
+        "p_store",
+        "p_fp",
+        "mem_addrs",
+        "br_positions",
+        "br_shims",
+    )
+
+
+class _BranchShim:
+    """Attribute view of one branch op for the real :class:`BranchPredictor`.
+
+    ``predict_and_update`` reads ``taken``/``is_branch``/``pc``/``indirect``/
+    ``target``; building these tiny shims from the decoded columns avoids
+    materialising full ``MicroOp`` objects for the pre-pass.
+    """
+
+    __slots__ = ("pc", "taken", "target", "indirect", "is_branch")
+
+    def __init__(self, pc, taken, target, indirect):
+        self.pc = pc
+        self.taken = taken
+        self.target = target
+        self.indirect = indirect
+        self.is_branch = True
+
+
+_OPCLASS_BY_OPCODE = None
+
+
+def _opclass_table() -> np.ndarray:
+    global _OPCLASS_BY_OPCODE
+    if _OPCLASS_BY_OPCODE is None:
+        from ..workloads.decoded import _OPCODE_TO_CLASS_INT
+
+        table = np.zeros(max(int(op) for op in _OPCODE_TO_CLASS_INT) + 1, np.int8)
+        for opcode, op_class in _OPCODE_TO_CLASS_INT.items():
+            table[int(opcode)] = op_class
+        _OPCLASS_BY_OPCODE = table
+    return _OPCLASS_BY_OPCODE
+
+
+def _build_static(decoded: DecodedTrace) -> _TraceStatic:
+    columns = decoded.columns
+    n = int(columns["opcode"].shape[0])
+    s = _TraceStatic()
+    s.n = n
+    opcode = columns["opcode"].astype(np.int64)
+    op_class = _opclass_table()[opcode]
+    s.op_class = op_class
+    s.is_load = op_class == _LOAD
+    s.is_store = op_class == _STORE
+    s.is_mem = s.is_load | s.is_store
+    s.is_brclass = op_class == _BRANCH
+    s.has_dest = columns["has_dest"].astype(bool)
+    s.address = np.where(
+        columns["has_address"].astype(bool), columns["address"].astype(np.int64), 0
+    )
+    dest = np.where(s.has_dest, columns["dest"].astype(np.int64), -1)
+
+    srcs_flat = columns["srcs_flat"].astype(np.int64)
+    srcs_offset = columns["srcs_offset"].astype(np.int64)
+    counts = np.diff(srcs_offset)
+    n_slots = int(counts.max()) if n else 0
+    srcs = np.full((max(1, n_slots), n), -1, np.int64)
+    for slot in range(n_slots):
+        rows = np.nonzero(counts > slot)[0]
+        srcs[slot, rows] = srcs_flat[srcs_offset[rows] + slot]
+    s.srcs = srcs
+
+    # Producers: last earlier writer of each source register.  For every
+    # register, writer positions are sorted by construction, so a
+    # searchsorted against them gives the last writer strictly before each
+    # reader.
+    prod = np.full_like(srcs, -1)
+    writer_pos: dict[int, np.ndarray] = {}
+    dest_idx = np.nonzero(s.has_dest)[0]
+    for reg in np.unique(dest[dest_idx]):
+        writer_pos[int(reg)] = dest_idx[dest[dest_idx] == reg]
+    for slot in range(srcs.shape[0]):
+        col = srcs[slot]
+        for reg, wpos in writer_pos.items():
+            readers = np.nonzero(col == reg)[0]
+            if readers.size == 0:
+                continue
+            at = np.searchsorted(wpos, readers) - 1
+            have = at >= 0
+            prod[slot, readers[have]] = wpos[at[have]]
+    s.prod = prod
+
+    # Consumer CSR: edges (producer -> consumer), one edge per source slot
+    # whose producer exists.  Walk order within a producer is irrelevant
+    # (wake-up is keyed by sequence number), so any deterministic grouping
+    # works.
+    edge_mask = prod >= 0
+    producers = prod[edge_mask]
+    consumers = np.broadcast_to(np.arange(n), prod.shape)[edge_mask]
+    order = np.argsort(producers, kind="stable")
+    producers = producers[order]
+    consumers = consumers[order].astype(np.int64)
+    cons_off = np.zeros(n + 1, np.int64)
+    np.add.at(cons_off, producers + 1, 1)
+    np.cumsum(cons_off, out=cons_off)
+    s.cons_off = cons_off
+    s.cons_data = consumers
+
+    # Last earlier store (as a store ordinal) to the same address, per load:
+    # the scalar's store-queue scan reduces to comparing this ordinal
+    # against the committed-store count.
+    store_pos = np.nonzero(s.is_store)[0]
+    last_store_ord = np.full(n, -1, np.int64)
+    if store_pos.size:
+        store_addr = s.address[store_pos]
+        load_pos = np.nonzero(s.is_load)[0]
+        by_addr: dict[int, list[int]] = {}
+        for ordinal, (pos, addr) in enumerate(zip(store_pos, store_addr)):
+            by_addr.setdefault(int(addr), []).append((int(pos), ordinal))
+        for pos in load_pos:
+            entries = by_addr.get(int(s.address[pos]))
+            if not entries:
+                continue
+            # entries are position-sorted; find the last strictly before pos.
+            lo, hi = 0, len(entries)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entries[mid][0] < pos:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo:
+                last_store_ord[pos] = entries[lo - 1][1]
+    s.last_store_ord = last_store_ord
+
+    def prefix(mask: np.ndarray) -> np.ndarray:
+        out = np.zeros(n + 1, np.int64)
+        np.cumsum(mask, out=out[1:])
+        return out
+
+    s.p_mem = prefix(s.is_mem)
+    s.p_dest = prefix(s.has_dest)
+    s.p_brclass = prefix(s.is_brclass)
+    s.p_load = prefix(s.is_load)
+    s.p_store = prefix(s.is_store)
+    s.p_fp = prefix((op_class >= _FP_ALU) & (op_class <= _VECTOR))
+
+    has_address = columns["has_address"].astype(bool)
+    s.mem_addrs = columns["address"].astype(np.int64)[has_address]
+
+    # Branch pre-pass inputs: every BRANCH-class op, in trace order, as a
+    # predictor shim.  Warm-up additionally predicts ops with no address and
+    # a recorded outcome; non-branch ops among those are no-ops inside
+    # ``predict_and_update`` and are skipped.
+    taken = columns["taken"].astype(np.int64)
+    target = columns["target"].astype(np.int64)
+    has_target = columns["has_target"].astype(bool)
+    indirect = columns["indirect"].astype(bool)
+    pc = columns["pc"].astype(np.int64)
+    br_positions = np.nonzero(s.is_brclass)[0]
+    shims = []
+    for pos in br_positions:
+        shims.append(
+            _BranchShim(
+                int(pc[pos]),
+                None if taken[pos] < 0 else bool(taken[pos]),
+                int(target[pos]) if has_target[pos] else None,
+                bool(indirect[pos]),
+            )
+        )
+    s.br_positions = br_positions
+    s.br_shims = shims
+    return s
+
+
+#: Bounded digest-keyed memo of per-trace static arrays (mirrors the decode
+#: memo in :mod:`repro.workloads.decoded`).
+_STATIC_MEMO: dict[str, _TraceStatic] = {}
+_STATIC_MEMO_MAX = 256
+
+
+def _static_for(decoded: DecodedTrace) -> _TraceStatic:
+    key = decoded.digest
+    hit = _STATIC_MEMO.get(key)
+    if hit is not None:
+        return hit
+    static = _build_static(decoded)
+    if len(_STATIC_MEMO) >= _STATIC_MEMO_MAX:
+        _STATIC_MEMO.pop(next(iter(_STATIC_MEMO)))
+    _STATIC_MEMO[key] = static
+    return static
+
+
+# ---------------------------------------------------------------------------
+# Vectorised cache hierarchy (dense L1/L2, per-lane dict L3)
+# ---------------------------------------------------------------------------
+
+
+class _DenseLevel:
+    """One batched cache level: ``(B, sets, ways)`` tags and LRU ticks.
+
+    Replicates :class:`repro.coresim.caches.Cache` exactly: the tick counter
+    increments on every lookup *and* fill, hits refresh the way's tick,
+    misses insert into an invalid way if one exists, else evict the
+    minimum-tick way.  Ticks are unique per lane-level, so victim choice is
+    deterministic exactly like the dict implementation's min-by-value.
+    """
+
+    __slots__ = (
+        "name",
+        "num_sets",
+        "assoc",
+        "line_shift",
+        "tags",
+        "ticks",
+        "tick",
+        "accesses",
+        "misses",
+    )
+
+    def __init__(self, name: str, config, lanes: int) -> None:
+        self.name = name
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        self.line_shift = config.line_size.bit_length() - 1
+        self.tags = np.full((lanes, self.num_sets, self.assoc), -1, np.int64)
+        self.ticks = np.zeros((lanes, self.num_sets, self.assoc), np.int64)
+        self.tick = np.zeros(lanes, np.int64)
+        self.accesses = np.zeros(lanes, np.int64)
+        self.misses = np.zeros(lanes, np.int64)
+
+    def _probe(self, lanes: np.ndarray, address: np.ndarray, count_stats: bool):
+        """Shared lookup/fill body; returns the per-access hit mask.
+
+        Hit ways get their tick refreshed; misses insert (into an invalid
+        way if one exists, else the LRU victim).  The whole set row is
+        written back in one scatter, which keeps the call count flat.
+        """
+        self.tick[lanes] += 1
+        new_tick = self.tick[lanes]
+        if count_stats:
+            self.accesses[lanes] += 1
+        line = address >> self.line_shift
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        set_tags = self.tags[lanes, set_index]  # (M, ways)
+        set_ticks = self.ticks[lanes, set_index]
+        match = (set_tags == tag[:, None]) & (set_ticks > 0)
+        way = match.argmax(axis=1)
+        rows = np.arange(lanes.shape[0])
+        hit = match[rows, way]
+        if hit.all():
+            # pure-hit fast path: refresh the matched ways' ticks only
+            set_ticks[rows, way] = new_tick
+            self.ticks[lanes, set_index] = set_ticks
+            return hit
+        # way to write: the matching way on a hit; on a miss the first
+        # invalid way, else the LRU (min-tick) way.
+        invalid = set_ticks == 0
+        victim = np.where(
+            invalid.any(axis=1), invalid.argmax(axis=1), set_ticks.argmin(axis=1)
+        )
+        way = np.where(hit, way, victim)
+        set_ticks[rows, way] = new_tick
+        self.ticks[lanes, set_index] = set_ticks
+        if count_stats:
+            self.misses += np.bincount(lanes[~hit], minlength=self.misses.shape[0])
+        set_tags[rows, way] = np.where(hit, set_tags[rows, way], tag)
+        self.tags[lanes, set_index] = set_tags
+        return hit
+
+    def lookup(self, lanes: np.ndarray, address: np.ndarray) -> np.ndarray:
+        """Masked batched ``Cache.lookup``; returns the per-access hit mask."""
+        return self._probe(lanes, address, True)
+
+    def fill(self, lanes: np.ndarray, address: np.ndarray) -> None:
+        """Masked batched ``Cache.fill`` (no statistics)."""
+        self._probe(lanes, address, False)
+
+    def reset_stats(self) -> None:
+        self.accesses[:] = 0
+        self.misses[:] = 0
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the level to the *keep* lanes (batch compaction)."""
+        self.tags = self.tags[keep]
+        self.ticks = self.ticks[keep]
+        self.tick = self.tick[keep]
+        self.accesses = self.accesses[keep]
+        self.misses = self.misses[keep]
+
+
+class _LazyCache:
+    """Per-lane L3 stand-in for :class:`~repro.coresim.caches.Cache`.
+
+    Behaviourally identical (same tick/LRU/eviction algorithm) but set dicts
+    are created on first touch: a ``Cache`` eagerly allocates one dict per
+    set, which for million-entry L3 configurations dominates batch set-up.
+    Only the rare L2-miss path ever reaches this object.
+    """
+
+    __slots__ = ("num_sets", "associativity", "line_shift", "_sets", "_tick",
+                 "accesses", "misses")
+
+    def __init__(self, config) -> None:
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_shift = config.line_size.bit_length() - 1
+        self._sets: dict[int, dict[int, int]] = {}
+        self._tick = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def lookup(self, address: int) -> bool:
+        self._tick += 1
+        line = address >> self.line_shift
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self._sets[set_index] = {}
+        self.accesses += 1
+        if tag in cache_set:
+            cache_set[tag] = self._tick
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.associativity:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[tag] = self._tick
+        return False
+
+    def fill(self, address: int) -> None:
+        self._tick += 1
+        line = address >> self.line_shift
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self._sets[set_index] = {}
+        if tag in cache_set:
+            cache_set[tag] = self._tick
+            return
+        if len(cache_set) >= self.associativity:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[tag] = self._tick
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+class _VectorCaches:
+    """Batched L1/L2 plus per-lane dict L3, mirroring :class:`CacheHierarchy`."""
+
+    def __init__(self, config: MicroarchConfig, lanes: int) -> None:
+        self.config = config
+        self.lanes = lanes
+        self.l1 = _DenseLevel("l1d", config.l1, lanes)
+        self.l2 = _DenseLevel("l2", config.l2, lanes)
+        self.l3 = (
+            [_LazyCache(config.l3) for _ in range(lanes)]
+            if config.l3 is not None
+            else None
+        )
+        self.line_size = config.l1.line_size
+        self.memory_latency = max(
+            30, int(round(CacheHierarchy.MEMORY_LATENCY_NS * config.clock_ghz))
+        )
+        self.lat_l1 = config.l1.latency
+        self.lat_l2 = config.l2.latency
+        self.lat_l3 = config.l3.latency if config.l3 is not None else 0
+        # Deferred next-line prefetch fills: a fill only has to land before
+        # the same lane's next lookup (fills carry no statistics), so misses
+        # stage their prefetch here and whole batches flush at once.
+        self.pending_fill = np.full(lanes, -1, np.int64)
+
+    def flush_fills(self, among: "np.ndarray | None" = None) -> None:
+        """Apply deferred prefetch fills — for *among* lanes, or all of them."""
+        if among is None:
+            rows = np.nonzero(self.pending_fill >= 0)[0]
+        else:
+            rows = among[self.pending_fill[among] >= 0]
+        if rows.size == 0:
+            return
+        lines = self.pending_fill[rows]
+        self.pending_fill[rows] = -1
+        self.l1.fill(rows, lines)
+        self.l2.fill(rows, lines)
+        if self.l3 is not None:
+            for i, line in zip(rows, lines):
+                self.l3[int(i)].fill(int(line))
+
+    def access(self, lanes: np.ndarray, address: np.ndarray) -> np.ndarray:
+        """Batched ``CacheHierarchy.access``; returns per-access latency."""
+        # a lane's staged prefetch must land before its next lookup
+        self.flush_fills(lanes)
+        l1_hit = self.l1.lookup(lanes, address)
+        if l1_hit.all():
+            # every access hit L1: no outer levels touched, no prefetch
+            return np.full(lanes.shape[0], self.lat_l1, np.int64)
+        latency = np.full(lanes.shape[0], self.lat_l1, np.int64)
+        miss1 = np.nonzero(~l1_hit)[0]
+        latency[miss1] += self.lat_l2
+        l2_hit = self.l2.lookup(lanes[miss1], address[miss1])
+        miss2 = miss1[~l2_hit]
+        if miss2.size:
+            if self.l3 is not None:
+                latency[miss2] += self.lat_l3
+                for i in miss2:
+                    if not self.l3[lanes[i]].lookup(int(address[i])):
+                        latency[i] += self.memory_latency
+            else:
+                latency[miss2] += self.memory_latency
+        # next-line prefetch after a non-L1 hit, staged for a later flush
+        self.pending_fill[lanes[miss1]] = address[miss1] + self.line_size
+        return latency
+
+    def warm_access(self, lanes: np.ndarray, address: np.ndarray) -> None:
+        """Warm-up access: identical state evolution to :meth:`access`, but
+        the latency result and the statistics updates are skipped — warm-up
+        resets statistics immediately afterwards, so only the tag/LRU state
+        must match."""
+        l1_hit = self.l1._probe(lanes, address, False)
+        if l1_hit.all():
+            return
+        miss1 = np.nonzero(~l1_hit)[0]
+        l2_hit = self.l2._probe(lanes[miss1], address[miss1], False)
+        if self.l3 is not None:
+            miss2 = miss1[~l2_hit]
+            for i in miss2:
+                self.l3[lanes[i]].lookup(int(address[i]))
+        next_line = address[miss1] + self.line_size
+        self.l1.fill(lanes[miss1], next_line)
+        self.l2.fill(lanes[miss1], next_line)
+        if self.l3 is not None:
+            for i, line in zip(miss1, next_line):
+                self.l3[lanes[i]].fill(int(line))
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        if self.l3 is not None:
+            for cache in self.l3:
+                cache.reset_stats()
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the hierarchy to the *keep* lanes (batch compaction)."""
+        self.l1.compact(keep)
+        self.l2.compact(keep)
+        if self.l3 is not None:
+            self.l3 = [self.l3[int(i)] for i in keep]
+        self.pending_fill = self.pending_fill[keep]
+        self.lanes = int(keep.size)
+
+    def lane_stats(self, lane: int) -> dict[str, int]:
+        stats = {
+            "cache.l1d.accesses": int(self.l1.accesses[lane]),
+            "cache.l1d.misses": int(self.l1.misses[lane]),
+            "cache.l2.accesses": int(self.l2.accesses[lane]),
+            "cache.l2.misses": int(self.l2.misses[lane]),
+        }
+        if self.l3 is not None:
+            stats["cache.l3.accesses"] = self.l3[lane].accesses
+            stats["cache.l3.misses"] = self.l3[lane].misses
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# The lockstep batch run
+# ---------------------------------------------------------------------------
+
+
+def _port_pick_table(config: MicroarchConfig) -> tuple[np.ndarray, np.ndarray, int]:
+    """(used-port-mask, op-class) -> chosen port, and its bitmask form.
+
+    ``pick[mask, cls]`` is the first port in the class's preference order not
+    in *mask* (-1 when every candidate is taken — a port conflict);
+    ``bit[mask, cls]`` is ``1 << port`` for that choice, 0 on conflict, so
+    the hot path ORs it straight into the per-lane used mask.
+    """
+    num_ports = config.ports.num_ports
+    class_ports = [
+        [p.index for p in config.ports.ports_for(op_class)] for op_class in OpClass
+    ]
+    pick = np.full((1 << num_ports, _NUM_CLASSES), -1, np.int64)
+    for mask in range(1 << num_ports):
+        for cls in range(_NUM_CLASSES):
+            for port in class_ports[cls]:
+                if not (mask >> port) & 1:
+                    pick[mask, cls] = port
+                    break
+    bit = np.where(pick >= 0, 1 << np.maximum(pick, 0), 0).astype(np.int64)
+    return pick, bit, num_ports
+
+
+class _Lane:
+    """Per-lane Python-side objects (sampler, predictor prefix, result)."""
+
+    __slots__ = ("sampler", "bp_prefix", "series", "trace_len")
+
+    def __init__(self, step_cycles: int, trace_len: int) -> None:
+        self.sampler = TimeSeriesSampler(step_cycles)
+        self.bp_prefix: np.ndarray | None = None
+        self.series: CounterTimeSeries | None = None
+        self.trace_len = trace_len
+
+
+_BP_STAT_NAMES = (
+    "bp.lookups",
+    "bp.mispredicts",
+    "bp.direction_mispredicts",
+    "bp.indirect_lookups",
+    "bp.indirect_mispredicts",
+    "bp.btb_lookups",
+    "bp.btb_hits",
+)
+
+
+def _bp_stats_tuple(predictor: BranchPredictor) -> tuple[int, ...]:
+    return (
+        predictor.lookups,
+        predictor.mispredicts,
+        predictor.direction_mispredicts,
+        predictor.indirect_lookups,
+        predictor.indirect_mispredicts,
+        predictor.btb_lookups,
+        predictor.btb_hits,
+    )
+
+
+class VectorBatch:
+    """One lockstep run: *B* traces on one config, one (eligible) bug."""
+
+    def __init__(
+        self,
+        config: MicroarchConfig,
+        traces: "list[DecodedTrace]",
+        bug: "CoreBugModel | None",
+        step_cycles: int,
+        warmup: bool,
+    ) -> None:
+        if not supports_vector(bug):
+            raise ValueError(
+                f"bug model {getattr(bug, 'name', bug)!r} overrides dynamic hooks; "
+                "use the scalar kernel"
+            )
+        self.config = config
+        self.bug = bug if bug is not None else BUG_FREE
+        self.step_cycles = step_cycles
+        self.warmup = warmup
+        self.statics = [_static_for(t) for t in traces]
+        for static in self.statics:
+            if static.n == 0:
+                raise ValueError("cannot simulate an empty trace")
+        self.B = len(traces)
+
+    # -- precomputation ------------------------------------------------------
+
+    def _prepass(self):
+        """Warm the predictor/caches and precompute per-lane branch outcomes."""
+        B = self.B
+        statics = self.statics
+        config = self.config
+        caches = _VectorCaches(config, B)
+
+        # Cache warm-up: trace-order accesses, lockstep over packed per-lane
+        # address lists.  Statistics accumulate exactly as in the scalar
+        # warm-up and are reset afterwards (LRU ticks are not).
+        if self.warmup:
+            mem_counts = np.array([s.mem_addrs.shape[0] for s in statics])
+            m_max = int(mem_counts.max()) if B else 0
+            if m_max:
+                packed = np.zeros((B, m_max), np.int64)
+                for lane, s in enumerate(statics):
+                    packed[lane, : s.mem_addrs.shape[0]] = s.mem_addrs
+                all_lanes = np.arange(B)
+                min_count = int(mem_counts.min())
+                for col in range(m_max):
+                    if col < min_count:
+                        caches.warm_access(all_lanes, packed[:, col])
+                    else:
+                        lanes = np.nonzero(mem_counts > col)[0]
+                        caches.warm_access(lanes, packed[lanes, col])
+            caches.reset_stats()
+
+        # Branch pre-pass: per lane, replay the real predictor over the
+        # branch stream (optionally warming it first), recording the
+        # mispredict flag and the cumulative predictor statistics after
+        # every BRANCH-class op.
+        bug = self.bug
+        lanes = [_Lane(self.step_cycles, s.n) for s in statics]
+        mispred = []
+        for lane_index, s in enumerate(statics):
+            bug.on_simulation_start(config)
+            predictor = BranchPredictor(config, bug)
+            if self.warmup:
+                for shim in s.br_shims:
+                    predictor.predict_and_update(shim)
+                predictor.reset_stats()
+            nb = len(s.br_shims)
+            flags = np.zeros(s.n, bool)
+            prefix = np.zeros((nb + 1, len(_BP_STAT_NAMES)), np.int64)
+            for j, (pos, shim) in enumerate(zip(s.br_positions, s.br_shims)):
+                flags[pos] = predictor.predict_and_update(shim)
+                prefix[j + 1] = _bp_stats_tuple(predictor)
+            lanes[lane_index].bp_prefix = prefix
+            mispred.append(flags)
+        return caches, lanes, mispred
+
+    # -- helpers -------------------------------------------------------------
+
+    def _pad2(self, arrays: "list[np.ndarray]", pad, width: int, dtype) -> np.ndarray:
+        out = np.full((self.B, width), pad, dtype)
+        for lane, arr in enumerate(arrays):
+            out[lane, : arr.shape[0]] = arr
+        return out
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> "list[CounterTimeSeries]":
+        config = self.config
+        B = self.B
+        statics = self.statics
+        step_cycles = self.step_cycles
+
+        width = config.width
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        lsq_size = config.lsq_size
+        capacity = config.fetch_buffer
+
+        reduction = max(0, self.bug.register_reduction())
+        free_init = max(1, config.num_phys_regs - NUM_ARCH_REGS - reduction)
+
+        latency_of = {
+            OpClass.INT_ALU: 1,
+            OpClass.INT_MULT: config.mult_latency,
+            OpClass.INT_DIV: config.div_latency,
+            OpClass.FP_ALU: config.fp_latency,
+            OpClass.FP_MULT: config.fp_latency,
+            OpClass.FP_DIV: config.div_latency,
+            OpClass.VECTOR: config.fp_latency,
+            OpClass.LOAD: 0,
+            OpClass.STORE: 1,
+            OpClass.BRANCH: 1,
+        }
+        lat_by_class = np.array([latency_of[c] for c in OpClass], np.int64)
+        port_pick, port_bit, num_ports = _port_pick_table(config)
+
+        caches, lanes, mispred_flags = self._prepass()
+
+        lane_len = np.array([s.n for s in statics], np.int64)
+        L = int(lane_len.max())
+        Lp = L + width + 2  # padded so width-windows never index out of range
+
+        def pack(attr, pad, dtype):
+            return self._pad2([getattr(s, attr) for s in statics], pad, Lp, dtype)
+
+        # Narrow dtypes keep the randomly-gathered per-op arrays small enough
+        # to stay cache-resident — gathers dominate the per-step cost.
+        op_class = pack("op_class", 0, np.int8)
+        is_mem = pack("is_mem", False, bool)
+        has_dest = pack("has_dest", False, bool)
+        address = pack("address", 0, np.int64)
+        last_store_ord = pack("last_store_ord", -1, np.int32)
+        # flattened views for np.take-based gathers in the issue loop
+        lane_base = (np.arange(B) * Lp).astype(np.int64)
+        op_class_flat = op_class.ravel()
+        address_flat = address.ravel()
+        last_store_flat = last_store_ord.ravel()
+        n_slots = max(s.srcs.shape[0] for s in statics)
+        prod = np.full((n_slots, B, Lp), -1, np.int32)
+        for lane, s in enumerate(statics):
+            prod[: s.prod.shape[0], lane, : s.n] = s.prod
+        cons_off = self._pad2([s.cons_off for s in statics], 0, Lp + 1, np.int32)
+        for lane, s in enumerate(statics):
+            # pad the offset tail with the final edge count so ops beyond the
+            # trace have zero consumers
+            cons_off[lane, s.n + 1 :] = s.cons_off[s.n]
+        e_max = max(int(s.cons_data.shape[0]) for s in statics)
+        cons_data = self._pad2([s.cons_data for s in statics], 0, max(1, e_max), np.int32)
+
+        p_mem = self._pad2([s.p_mem for s in statics], 0, Lp + 1, np.int32)
+        p_dest = self._pad2([s.p_dest for s in statics], 0, Lp + 1, np.int32)
+        p_brclass = self._pad2([s.p_brclass for s in statics], 0, Lp + 1, np.int32)
+        p_load = self._pad2([s.p_load for s in statics], 0, Lp + 1, np.int32)
+        p_store = self._pad2([s.p_store for s in statics], 0, Lp + 1, np.int32)
+        p_fp = self._pad2([s.p_fp for s in statics], 0, Lp + 1, np.int32)
+        for arrays, sources in (
+            (p_mem, "p_mem"),
+            (p_dest, "p_dest"),
+            (p_brclass, "p_brclass"),
+            (p_load, "p_load"),
+            (p_store, "p_store"),
+            (p_fp, "p_fp"),
+        ):
+            for lane, s in enumerate(statics):
+                arrays[lane, s.n + 1 :] = getattr(s, sources)[s.n]
+
+        pfx_md = np.stack([p_mem, p_dest])  # (2, B, Lp+1) fused dispatch gather
+
+        mispred = self._pad2(mispred_flags, False, Lp, bool)
+        p_mispred = np.zeros((B, Lp + 1), np.int32)
+        np.cumsum(mispred, axis=1, out=p_mispred[:, 1:])
+        # next_mispred[i]: first mispredicted-branch index >= i (or BIG).
+        BIG = np.int32(2**31 - 1)
+        next_mispred = np.full((B, Lp + 1), BIG, np.int32)
+        idx = np.where(mispred, np.arange(Lp, dtype=np.int32)[None, :], BIG)
+        next_mispred[:, :Lp] = np.minimum.accumulate(idx[:, ::-1], axis=1)[:, ::-1]
+
+        # -- dynamic state ----------------------------------------------------
+        cycle = np.zeros(B, np.int64)
+        commit_head = np.zeros(B, np.int64)
+        dispatch_ptr = np.zeros(B, np.int64)
+        fetch_ptr = np.zeros(B, np.int64)
+        issued_total = np.zeros(B, np.int64)
+        wb_total = np.zeros(B, np.int64)
+        fetch_block_op = np.full(B, -1, np.int64)
+        fetch_resume = np.zeros(B, np.int64)
+        last_sample = np.zeros(B, np.int64)
+        max_cycles = lane_len * MAX_CYCLES_PER_INSTRUCTION + 10_000
+
+        completed = np.zeros((B, Lp), bool)
+        pending = np.zeros((B, Lp), np.int16)
+        woken = np.zeros((B, Lp), bool)
+
+        # finish-time slots for in-flight (issued, not written back) ops.
+        # Slots come from a per-lane LIFO free stack: the highest slot index
+        # ever in use equals the peak concurrent in-flight count, so the
+        # per-cycle completion scan (and the fast-forward min) only touch
+        # ``[:, :slot_peak]`` — usually a few dozen columns, not the whole
+        # ROB-sized capacity.
+        FCAP = rob_size
+        finish_time = np.zeros((B, FCAP), np.int32)
+        finish_op = np.zeros((B, FCAP), np.int32)
+        freestack = np.broadcast_to(
+            np.arange(FCAP - 1, -1, -1, dtype=np.int32), (B, FCAP)
+        ).copy()
+        free_sp = np.full(B, FCAP, np.int64)  # stack pointer = free-slot count
+        slot_peak = 1
+
+        # Eligible-op buffer: live op indices in columns [0, elig_count),
+        # ascending, sentinel-padded.  Appends land unsorted at the tail and
+        # issues punch sentinel holes; one row-wise sort restores the
+        # invariant before the next scan (the `dirty` flag).
+        ECAP = iq_size + 2 * max(width, 8) + 8
+        elig = np.full((B, ECAP), _SENT, np.int64)
+        elig_used = np.zeros(B, np.int64)  # tail position incl. holes
+        elig_count = np.zeros(B, np.int64)  # live entries
+        elig_dirty = False
+        Lp_top = np.int64(Lp - 1)
+        batch_has_divs = bool(
+            np.any((op_class == _INT_DIV) | (op_class == _FP_DIV))
+        )
+
+        next_wake_lanes = np.zeros(0, np.int64)
+        next_wake_ops = np.zeros(0, np.int64)
+        nw_mask = np.zeros(B, bool)
+
+        port_busy_until = np.zeros((B, num_ports), np.int64)
+        busy_horizon = -1  # no division in flight anywhere
+        pow2_ports = (1 << np.arange(num_ports)).astype(np.int64)
+
+        # -- counters ---------------------------------------------------------
+        c = {
+            name: np.zeros(B, np.int64)
+            for name in (
+                "commit.idle_cycles",
+                "commit.max_width_cycles",
+                "issue.empty_cycles",
+                "issue.stall_cycles",
+                "issue.max_width_cycles",
+                "issue.port_conflicts",
+                "dispatch.stall_cycles",
+                "dispatch.stall_rob_full",
+                "dispatch.stall_iq_full",
+                "dispatch.stall_lsq_full",
+                "rename.stall_cycles_regs",
+                "fetch.stall_cycles",
+                "fetch.cycles_active",
+                "lsq.forwarded_loads",
+            )
+        }
+        issue_class = np.zeros((B, _NUM_CLASSES), np.int64)
+        rob_occ_sum = np.zeros(B, np.int64)
+        iq_occ_sum = np.zeros(B, np.int64)
+        lsq_occ_sum = np.zeros(B, np.int64)
+
+        active = lane_len > 0
+        ar = np.arange(B)
+        # Lanes are compacted out of the batch as they finish (see the lane
+        # finish section); `lane_map` maps current rows back to the original
+        # batch position, and results accumulate into the out_* arrays.
+        lane_map = np.arange(B)
+        out_cycles = np.zeros(B, np.int64)
+        out_committed = np.zeros(B, np.int64)
+        #: original lane indices handed to the scalar kernel (stragglers)
+        self.fallback: list[int] = []
+
+        def lane_cumulative(lane: int) -> dict[str, float]:
+            """Cumulative counter dict for one lane, scalar-identical.
+
+            Plain pipeline counters appear only when non-zero (the scalar
+            dict is lazily populated); occupancy sums, predictor stats and
+            cache stats are always present.
+            """
+            out: dict[str, float] = {}
+            head = int(commit_head[lane])
+            fp = int(fetch_ptr[lane])
+            values = (
+                ("commit.instructions", head),
+                ("commit.register_writes", int(p_dest[lane, head])),
+                ("commit.branches", int(p_brclass[lane, head])),
+                ("commit.loads", int(p_load[lane, head])),
+                ("commit.stores", int(p_store[lane, head])),
+                ("commit.fp_instructions", int(p_fp[lane, head])),
+                ("commit.idle_cycles", int(c["commit.idle_cycles"][lane])),
+                ("commit.max_width_cycles", int(c["commit.max_width_cycles"][lane])),
+                ("writeback.instructions", int(wb_total[lane])),
+                ("issue.instructions", int(issued_total[lane])),
+                ("issue.empty_cycles", int(c["issue.empty_cycles"][lane])),
+                ("issue.stall_cycles", int(c["issue.stall_cycles"][lane])),
+                ("issue.max_width_cycles", int(c["issue.max_width_cycles"][lane])),
+                ("issue.port_conflicts", int(c["issue.port_conflicts"][lane])),
+                ("dispatch.instructions", int(dispatch_ptr[lane])),
+                ("dispatch.stall_cycles", int(c["dispatch.stall_cycles"][lane])),
+                ("dispatch.stall_rob_full", int(c["dispatch.stall_rob_full"][lane])),
+                ("dispatch.stall_iq_full", int(c["dispatch.stall_iq_full"][lane])),
+                ("dispatch.stall_lsq_full", int(c["dispatch.stall_lsq_full"][lane])),
+                ("rename.stall_cycles_regs", int(c["rename.stall_cycles_regs"][lane])),
+                ("fetch.instructions", fp),
+                ("fetch.branches", int(p_brclass[lane, fp])),
+                ("fetch.mispredicted_branches", int(p_mispred[lane, fp])),
+                ("fetch.stall_cycles", int(c["fetch.stall_cycles"][lane])),
+                ("fetch.cycles_active", int(c["fetch.cycles_active"][lane])),
+                ("lsq.forwarded_loads", int(c["lsq.forwarded_loads"][lane])),
+            )
+            for name, value in values:
+                if value:
+                    out[name] = float(value)
+            for cls in range(_NUM_CLASSES):
+                value = int(issue_class[lane, cls])
+                if value:
+                    out[f"issue.class.{OpClass(cls).name}"] = float(value)
+            out["rob.occupancy_sum"] = float(rob_occ_sum[lane])
+            out["iq.occupancy_sum"] = float(iq_occ_sum[lane])
+            out["lsq.occupancy_sum"] = float(lsq_occ_sum[lane])
+            bp_row = lanes[int(lane_map[lane])].bp_prefix[int(p_brclass[lane, fp])]
+            for name, value in zip(_BP_STAT_NAMES, bp_row):
+                out[name] = float(value)
+            for name, value in caches.lane_stats(lane).items():
+                out[name] = float(value)
+            return out
+
+        def sort_elig() -> None:
+            """Restore the sorted-compact eligible invariant (sentinel tail).
+
+            Only the prefix columns that can hold live entries or holes are
+            sorted — ``elig_used`` bounds them, and it is typically a dozen
+            columns, not the full capacity.
+            """
+            nonlocal elig_used, elig_dirty
+            used = int(elig_used.max())
+            if used:
+                elig[:, :used].sort(axis=1)
+            elig_used = elig_count.copy()
+            elig_dirty = False
+
+        def append_elig(wl: np.ndarray, wo: np.ndarray) -> None:
+            """Append (lane, op) wake pairs at the eligible-buffer tails."""
+            nonlocal elig_used, elig_count, elig_dirty
+            counts = np.bincount(wl, minlength=B)
+            if int((elig_used + counts).max()) > ECAP:
+                sort_elig()
+            if wl.shape[0] > 1:
+                order = np.argsort(wl, kind="stable")
+                wl = wl[order]
+                wo = wo[order]
+            run_start = np.zeros(B + 1, np.int64)
+            np.cumsum(counts, out=run_start[1:])
+            rank = np.arange(wl.shape[0]) - run_start[wl]
+            elig[wl, elig_used[wl] + rank] = wo
+            elig_used = elig_used + counts
+            elig_count = elig_count + counts
+            elig_dirty = True
+
+        # ------------------------------------------------------------------
+        # main lockstep loop
+        # ------------------------------------------------------------------
+        while True:
+            act = active
+            if not act.any():
+                break
+            cycle += act  # active lanes advance one cycle (bool adds as 0/1)
+            if (cycle > max_cycles).any():
+                lane = int(np.nonzero(act & (cycle > max_cycles))[0][0])
+                raise PipelineError(
+                    f"pipeline exceeded {int(max_cycles[lane])} cycles for "
+                    f"{int(lane_len[lane])} instructions on {config.name} "
+                    f"with bug {self.bug.name!r}"
+                )
+
+            # ------------------------------------------------------ commit
+            rob_nonempty = act & (commit_head < dispatch_ptr)
+            win = completed[
+                ar[:, None], np.minimum(commit_head[:, None] + np.arange(width), Lp - 1)
+            ]
+            k = np.where(
+                rob_nonempty, np.cumprod(win, axis=1).sum(axis=1), 0
+            )
+            committing = k > 0
+            c["commit.idle_cycles"] += act & ~committing
+            c["commit.max_width_cycles"] += committing & (k >= width)
+            commit_head += k
+
+            # --------------------------------------------------- writeback
+            any_blocked = bool((fetch_block_op >= 0).any())
+            wb_mask = finish_time[:, :slot_peak] == cycle.astype(np.int32)[:, None]
+            wl, ws = np.nonzero(wb_mask)
+            if wl.size:
+                ops = finish_op[wl, ws].astype(np.int64)
+                finish_time[wl, ws] = 0
+                completed[wl, ops] = True
+                counts_wb = np.bincount(wl, minlength=B)
+                wb_total += counts_wb
+                # return the freed slots to the per-lane stacks (wl arrives
+                # lane-sorted from nonzero's row-major order)
+                run_start_wb = np.zeros(B + 1, np.int64)
+                np.cumsum(counts_wb, out=run_start_wb[1:])
+                rank_wb = np.arange(wl.shape[0]) - run_start_wb[wl]
+                freestack[wl, free_sp[wl] + rank_wb] = ws
+                free_sp += counts_wb
+                # fetch unblock on mispredicted-branch completion
+                if any_blocked:
+                    unblock = ops == fetch_block_op[wl]
+                    if unblock.any():
+                        ul = wl[unblock]
+                        fetch_resume[ul] = cycle[ul] + BASE_REDIRECT_PENALTY
+                        fetch_block_op[ul] = -1
+                # consumer walk over the static CSR, all edges expanded flat
+                off0 = cons_off[wl, ops]
+                cnt = cons_off[wl, ops + 1] - off0
+                total_edges = int(cnt.sum())
+                if total_edges:
+                    pair = np.repeat(np.arange(cnt.shape[0]), cnt)
+                    ends = np.cumsum(cnt)
+                    within = np.arange(total_edges) - np.repeat(ends - cnt, cnt)
+                    cl = wl[pair]
+                    cons = cons_data[cl, off0[pair] + within]
+                    dispatched = cons < dispatch_ptr[cl]
+                    dsel = np.nonzero(dispatched)[0]
+                    if dsel.size:
+                        tl = cl[dsel]
+                        tc = cons[dsel]
+                        np.add.at(pending, (tl, tc), -1)
+                        ready_now = (pending[tl, tc] == 0) & ~woken[tl, tc]
+                        sel = np.nonzero(ready_now)[0]
+                        if sel.size:
+                            tl = tl[sel]
+                            tc = tc[sel]
+                            if tl.shape[0] > 1:
+                                # a consumer fed twice by producers completing
+                                # this very cycle appears twice; wake it once
+                                _, keep = np.unique(tl * Lp + tc, return_index=True)
+                                tl = tl[keep]
+                                tc = tc[keep]
+                            woken[tl, tc] = True
+                            append_elig(tl, tc)
+
+            # -------------------------------------------------------- wake
+            if next_wake_lanes.size:
+                append_elig(next_wake_lanes, next_wake_ops)
+                nw_mask[:] = False
+                next_wake_lanes = np.zeros(0, np.int64)
+                next_wake_ops = np.zeros(0, np.int64)
+
+            # ------------------------------------------------------- issue
+            iq_count = dispatch_ptr - issued_total
+            ready_lanes = act & (elig_count > 0)
+            c["issue.stall_cycles"] += act & ~ready_lanes & (iq_count > 0)
+            c["issue.empty_cycles"] += act & ~ready_lanes & (iq_count == 0)
+            if ready_lanes.any():
+                if elig_dirty:
+                    sort_elig()
+                n_cand = elig_count.copy()
+                sq_committed = p_store[ar, commit_head]
+                issued_cyc = np.zeros(B, np.int64)
+                ports_used = np.zeros(B, np.int64)
+                conflicts = np.zeros(B, np.int64)
+                if busy_horizon >= int(cycle[act].min()):
+                    busy_cols = port_busy_until > cycle[:, None]
+                    busy = (busy_cols * pow2_ports[None, :]).sum(axis=1)
+                    if not busy_cols.any():
+                        busy_horizon = -1
+                else:
+                    busy = None
+                scan = ready_lanes
+                p = 0
+                while True:
+                    have = scan & (issued_cyc < width) & (p < n_cand)
+                    if not have.any():
+                        break
+                    scan = have
+                    # SENT-padded columns clip to a harmless in-range index;
+                    # every use below is masked by `have`/`do`.
+                    op = np.minimum(elig[:, p], Lp_top)
+                    flat = lane_base + op
+                    cls = op_class_flat.take(flat)
+                    pick = ports_used if busy is None else ports_used | busy
+                    bits = port_bit[pick, cls]
+                    conflict = have & (bits == 0)
+                    conflicts += conflict
+                    do = have & ~conflict
+                    if do.any():
+                        lat = lat_by_class.take(cls)
+                        if batch_has_divs:
+                            # record the divider's port before ports_used
+                            # absorbs this iteration's bits: `pick` may alias
+                            # ports_used, and the chosen port is defined by
+                            # the pre-issue mask
+                            is_div = do & ((cls == _INT_DIV) | (cls == _FP_DIV))
+                            if is_div.any():
+                                dvl = np.nonzero(is_div)[0]
+                                port = port_pick[pick[dvl], cls[dvl]]
+                                port_busy_until[dvl, port] = cycle[dvl] + lat[dvl]
+                                busy_horizon = max(
+                                    busy_horizon, int((cycle[dvl] + lat[dvl]).max())
+                                )
+                        ports_used = ports_used | np.where(do, bits, 0)
+                        ld = do & (cls == _LOAD)
+                        st = do & (cls == _STORE)
+                        fwd = ld & (last_store_flat.take(flat) >= sq_committed)
+                        c["lsq.forwarded_loads"] += fwd
+                        mem = st | (ld & ~fwd)
+                        if mem.any():
+                            ml = np.nonzero(mem)[0]
+                            mem_lat = caches.access(ml, address_flat.take(flat[ml]))
+                            lat[ml] = mem_lat
+                            lat = np.where(fwd | st, 1, lat)
+                        finish = cycle + np.maximum(lat, 1)
+                        dl = np.nonzero(do)[0]
+                        sp = free_sp[dl] - 1
+                        slot = freestack[dl, sp]
+                        free_sp[dl] = sp
+                        top = int(slot.max()) + 1
+                        if top > slot_peak:
+                            slot_peak = top
+                        finish_time[dl, slot] = finish[dl]
+                        finish_op[dl, slot] = op[dl]
+                        elig[dl, p] = _SENT
+                        elig_count -= do
+                        issued_cyc += do
+                        issue_class[dl, cls[dl]] += 1
+                    p += 1
+                did = ready_lanes & (issued_cyc > 0)
+                c["issue.port_conflicts"] += conflicts
+                c["issue.stall_cycles"] += ready_lanes & ~did
+                c["issue.max_width_cycles"] += did & (issued_cyc >= width)
+                issued_total += issued_cyc
+                if did.any():
+                    elig_dirty = True
+                iq_count = dispatch_ptr - issued_total
+                # batch-flush the prefetches this cycle's misses staged
+                caches.flush_fills()
+
+            # ---------------------------------------------------- dispatch
+            fq_len = fetch_ptr - dispatch_ptr
+            can_disp = act & (fq_len > 0)
+            if can_disp.any():
+                d0 = dispatch_ptr
+                rob_len = d0 - commit_head
+                # Conservative all-clear test: when every lane has `width`
+                # free slots in every structure, no per-slot constraint can
+                # fire and the window gathers are skipped entirely.
+                lsq_head = p_mem[ar, commit_head]
+                dest_head = p_dest[ar, commit_head]
+                lsq_occ0 = p_mem[ar, d0] - lsq_head
+                free0 = free_init - (p_dest[ar, d0] - dest_head)
+                clear = (
+                    (rob_len + width <= rob_size)
+                    & (iq_count + width <= iq_size)
+                    & (lsq_occ0 + width <= lsq_size)
+                    & (free0 > width)
+                )
+                j = np.arange(width)[None, :]
+                # lanes passing the all-clear test dispatch min(queue, width);
+                # only the congested subset pays for the per-slot windows
+                k = np.where(can_disp, np.minimum(fq_len, width), 0)
+                hard = can_disp & ~clear
+                if hard.any():
+                    r = np.nonzero(hard)[0]
+                    wini = np.minimum(d0[r][:, None] + np.arange(width + 1), Lp)
+                    w_md = pfx_md[:, r[:, None], wini]  # (2, M, width+1)
+                    w_mem = w_md[0]
+                    w_dest = w_md[1]
+                    op_is_mem = (w_mem[:, 1:] - w_mem[:, :-1]) > 0
+                    op_has_dest = (w_dest[:, 1:] - w_dest[:, :-1]) > 0
+                    mem_before = w_mem[:, :-1] - w_mem[:, :1]
+                    dest_before = w_dest[:, :-1] - w_dest[:, :1]
+                    rob_r = rob_len[r]
+                    iq_r = iq_count[r]
+                    ok = (
+                        (j < fq_len[r][:, None])
+                        & (rob_r[:, None] + j < rob_size)
+                        & (iq_r[:, None] + j < iq_size)
+                        & (~op_is_mem | (lsq_occ0[r][:, None] + mem_before < lsq_size))
+                        & (~op_has_dest | (free0[r][:, None] - dest_before > 0))
+                    )
+                    kr = np.cumprod(ok, axis=1).sum(axis=1)
+                    k[r] = kr
+                    # stall-reason accounting: fires when the break happened
+                    # on a constraint (k < width, queue still had entries).
+                    stopped = (kr < width) & (kr < fq_len[r])
+                    if stopped.any():
+                        mr = np.arange(r.shape[0])
+                        at = np.minimum(kr, width - 1)
+                        s_rob = stopped & (rob_r + kr >= rob_size)
+                        s_iq = stopped & ~s_rob & (iq_r + kr >= iq_size)
+                        head_mem = op_is_mem[mr, at]
+                        head_dest = op_has_dest[mr, at]
+                        s_lsq = (
+                            stopped
+                            & ~s_rob
+                            & ~s_iq
+                            & head_mem
+                            & (lsq_occ0[r] + mem_before[mr, at] >= lsq_size)
+                        )
+                        s_reg = stopped & ~s_rob & ~s_iq & ~s_lsq
+                        c["dispatch.stall_rob_full"][r] += s_rob
+                        c["dispatch.stall_iq_full"][r] += s_iq
+                        c["dispatch.stall_lsq_full"][r] += s_lsq
+                        c["rename.stall_cycles_regs"][r] += s_reg & head_dest
+                    c["dispatch.stall_cycles"][r] += kr == 0
+
+                disp = k > 0
+                if disp.any():
+                    # pending counts: producers not yet completed at dispatch
+                    pend = np.zeros((B, width), np.int16)
+                    opj = np.minimum(d0[:, None] + j, Lp - 1)
+                    in_group = j < k[:, None]
+                    for slot in range(n_slots):
+                        producer = prod[slot][ar[:, None], opj]
+                        linked = (
+                            in_group
+                            & (producer >= 0)
+                            & ~completed[ar[:, None], np.where(producer < 0, 0, producer)]
+                        )
+                        pend += linked.astype(np.int16)
+                    rows, cols = np.nonzero(in_group)
+                    ops_d = opj[rows, cols]
+                    pending[rows, ops_d] = pend[rows, cols]
+                    zero = pend[rows, cols] == 0
+                    zl = rows[zero]
+                    zo = ops_d[zero]
+                    woken[zl, zo] = True
+                    next_wake_lanes = zl.astype(np.int64)
+                    next_wake_ops = zo.astype(np.int64)
+                    nw_mask[zl] = True
+                    dispatch_ptr = dispatch_ptr + k
+
+            # ------------------------------------------------------- fetch
+            blocked = fetch_block_op >= 0
+            stall_f = act & (blocked | (cycle < fetch_resume))
+            c["fetch.stall_cycles"] += stall_f
+            fq_len = fetch_ptr - dispatch_ptr
+            can_fetch = (
+                act
+                & ~stall_f
+                & (fetch_ptr < lane_len)
+                & (fq_len < capacity)
+            )
+            if can_fetch.any():
+                n_f = np.minimum(width, np.minimum(capacity - fq_len, lane_len - fetch_ptr))
+                nm = next_mispred[ar, np.minimum(fetch_ptr, Lp)]
+                stop_at = nm - fetch_ptr + 1
+                hit_mp = can_fetch & (stop_at <= n_f)
+                n_f = np.where(hit_mp, stop_at, n_f)
+                n_f = np.where(can_fetch, n_f, 0)
+                fetch_ptr = fetch_ptr + n_f
+                c["fetch.cycles_active"] += can_fetch
+                ml = np.nonzero(hit_mp)[0]
+                if ml.size:
+                    fetch_block_op[ml] = fetch_ptr[ml] - 1
+
+            # ------------------------------------------- occupancy + sample
+            # Finished lanes have empty structures (head == tail == length),
+            # so the unmasked adds contribute exactly zero for them.
+            rob_len = dispatch_ptr - commit_head
+            iq_count = dispatch_ptr - issued_total
+            lsq_occ = p_mem[ar, dispatch_ptr] - p_mem[ar, commit_head]
+            rob_occ_sum += rob_len
+            iq_occ_sum += iq_count
+            lsq_occ_sum += lsq_occ
+
+            sample_now = act & (cycle - last_sample >= step_cycles)
+            if sample_now.any():
+                for lane in np.nonzero(sample_now)[0]:
+                    lanes[int(lane_map[lane])].sampler.sample(
+                        lane_cumulative(int(lane))
+                    )
+                last_sample = np.where(sample_now, cycle, last_sample)
+
+            # ------------------------------------------------ fast-forward
+            # All remaining work happens on the (usually small) subset of
+            # lanes that might skip, so the per-step cost of this block does
+            # not scale with the batch.
+            head_done = completed[ar, np.minimum(commit_head, Lp - 1)]
+            inflight = issued_total - wb_total
+            ffable = (
+                act
+                & (elig_count == 0)
+                & ~((commit_head < dispatch_ptr) & head_done)
+                & (inflight > 0)
+            )
+            if next_wake_lanes.size:
+                ffable &= ~nw_mask
+            if ffable.any():
+                r = np.nonzero(ffable)[0]
+                r_cycle = cycle[r]
+                r_fb = fetch_block_op[r]
+                r_fp = fetch_ptr[r]
+                r_dp = dispatch_ptr[r]
+                r_ch = commit_head[r]
+                r_resume = fetch_resume[r]
+                r_len = lane_len[r]
+                blocked = r_fb >= 0
+                fq_len_r = r_fp - r_dp
+                fetch_idle = (
+                    blocked
+                    | (r_cycle + 1 < r_resume)
+                    | (r_fp >= r_len)
+                    | (fq_len_r >= capacity)
+                )
+                # dispatch must be empty-handed or provably blocked
+                head = np.minimum(r_dp, Lp - 1)
+                head_mem = is_mem[r, head]
+                head_dest = has_dest[r, head]
+                free_regs = free_init - (p_dest[r, r_dp] - p_dest[r, r_ch])
+                rob_len_r = r_dp - r_ch
+                iq_count_r = iq_count[r]
+                lsq_occ_r = lsq_occ[r]
+                rob_full = rob_len_r >= rob_size
+                iq_full = iq_count_r >= iq_size
+                lsq_full = head_mem & (lsq_occ_r >= lsq_size)
+                reg_block = head_dest & (free_regs <= 0)
+                disp_blocked = rob_full | iq_full | lsq_full | reg_block
+                go = fetch_idle & ((fq_len_r == 0) | disp_blocked)
+                if go.any():
+                    ft = finish_time[:, :slot_peak][r].astype(np.int64)
+                    min_finish = np.where(ft > 0, ft, _SENT).min(axis=1)
+                    event = np.minimum(last_sample[r] + step_cycles, min_finish)
+                    fetch_can = (
+                        ~blocked
+                        & (r_fp < r_len)
+                        & (fq_len_r < capacity)
+                        & (r_resume < event)
+                    )
+                    event = np.where(fetch_can, np.minimum(event, r_resume), event)
+                    event = np.minimum(event, max_cycles[r] + 1)
+                    skipped = np.where(go, event - r_cycle - 1, 0)
+                    skip = skipped > 0
+                    if skip.any():
+                        skipped = np.where(skip, skipped, 0)
+                        c["commit.idle_cycles"][r] += skipped
+                        c["issue.empty_cycles"][r] += np.where(
+                            iq_count_r == 0, skipped, 0
+                        )
+                        c["issue.stall_cycles"][r] += np.where(
+                            iq_count_r > 0, skipped, 0
+                        )
+                        disp_stall = skip & (fq_len_r > 0)
+                        c["dispatch.stall_cycles"][r] += np.where(disp_stall, skipped, 0)
+                        c["dispatch.stall_rob_full"][r] += np.where(
+                            disp_stall & rob_full, skipped, 0
+                        )
+                        c["dispatch.stall_iq_full"][r] += np.where(
+                            disp_stall & ~rob_full & iq_full, skipped, 0
+                        )
+                        c["dispatch.stall_lsq_full"][r] += np.where(
+                            disp_stall & ~rob_full & ~iq_full & lsq_full, skipped, 0
+                        )
+                        c["rename.stall_cycles_regs"][r] += np.where(
+                            disp_stall & ~rob_full & ~iq_full & ~lsq_full, skipped, 0
+                        )
+                        c["fetch.stall_cycles"][r] += np.where(
+                            skip & blocked, skipped, 0
+                        )
+                        window = skip & ~blocked & (r_resume > r_cycle + 1)
+                        stop = np.minimum(event - 1, r_resume - 1)
+                        c["fetch.stall_cycles"][r] += np.where(
+                            window, stop - r_cycle, 0
+                        )
+                        rob_occ_sum[r] += rob_len_r * skipped
+                        iq_occ_sum[r] += iq_count_r * skipped
+                        lsq_occ_sum[r] += lsq_occ_r * skipped
+                        cycle[r] += np.where(skip, event - r_cycle - 1, 0)
+
+            # ------------------------------------------------- lane finish
+            done = act & (commit_head >= lane_len)
+            if done.any():
+                for lane in np.nonzero(done)[0]:
+                    li = int(lane)
+                    orig = int(lane_map[li])
+                    sampler = lanes[orig].sampler
+                    sampler.finalize(
+                        lane_cumulative(li), int(cycle[li] - last_sample[li])
+                    )
+                    lanes[orig].series = sampler.build()
+                    out_cycles[orig] = cycle[li]
+                    out_committed[orig] = commit_head[li]
+                active = active & ~done
+                # Straggler fallback: once only a sliver of the batch is
+                # still running, the fixed per-step cost of the lockstep
+                # loop exceeds the cost of simply re-simulating the
+                # survivors on the scalar kernel (which is bit-identical by
+                # contract), so hand them over and stop.
+                n_active = int(active.sum())
+                if n_active and self.B >= 32 and n_active * 16 <= self.B:
+                    self.fallback = [
+                        int(i) for i in lane_map[np.nonzero(active)[0]]
+                    ]
+                    break
+                # Compact the batch once enough lanes have retired: every
+                # state array shrinks to the surviving rows, so straggler
+                # lanes finish at a proportionally smaller per-step cost
+                # instead of dragging the full batch width along.
+                if n_active and B - n_active >= 32 and n_active * 5 <= B * 3:
+                    keep = np.nonzero(active)[0]
+                    if next_wake_lanes.size:
+                        remap = np.full(B, -1, np.int64)
+                        remap[keep] = np.arange(keep.size)
+                        next_wake_lanes = remap[next_wake_lanes]
+                    lane_map = lane_map[keep]
+                    op_class = np.ascontiguousarray(op_class[keep])
+                    op_class_flat = op_class.ravel()
+                    is_mem = is_mem[keep]
+                    has_dest = has_dest[keep]
+                    address = np.ascontiguousarray(address[keep])
+                    address_flat = address.ravel()
+                    last_store_ord = np.ascontiguousarray(last_store_ord[keep])
+                    last_store_flat = last_store_ord.ravel()
+                    prod = np.ascontiguousarray(prod[:, keep])
+                    cons_off = cons_off[keep]
+                    cons_data = cons_data[keep]
+                    p_mem = p_mem[keep]
+                    p_dest = p_dest[keep]
+                    p_brclass = p_brclass[keep]
+                    p_load = p_load[keep]
+                    p_store = p_store[keep]
+                    p_fp = p_fp[keep]
+                    pfx_md = np.stack([p_mem, p_dest])
+                    p_mispred = p_mispred[keep]
+                    next_mispred = next_mispred[keep]
+                    lane_len = lane_len[keep]
+                    max_cycles = max_cycles[keep]
+                    cycle = cycle[keep]
+                    commit_head = commit_head[keep]
+                    dispatch_ptr = dispatch_ptr[keep]
+                    fetch_ptr = fetch_ptr[keep]
+                    issued_total = issued_total[keep]
+                    wb_total = wb_total[keep]
+                    fetch_block_op = fetch_block_op[keep]
+                    fetch_resume = fetch_resume[keep]
+                    last_sample = last_sample[keep]
+                    completed = completed[keep]
+                    pending = pending[keep]
+                    woken = woken[keep]
+                    finish_time = finish_time[keep]
+                    finish_op = finish_op[keep]
+                    freestack = freestack[keep]
+                    free_sp = free_sp[keep]
+                    elig = elig[keep]
+                    elig_used = elig_used[keep]
+                    elig_count = elig_count[keep]
+                    port_busy_until = port_busy_until[keep]
+                    nw_mask = nw_mask[keep]
+                    for name in c:
+                        c[name] = c[name][keep]
+                    issue_class = issue_class[keep]
+                    rob_occ_sum = rob_occ_sum[keep]
+                    iq_occ_sum = iq_occ_sum[keep]
+                    lsq_occ_sum = lsq_occ_sum[keep]
+                    caches.compact(keep)
+                    active = active[keep]
+                    B = keep.size
+                    ar = np.arange(B)
+                    lane_base = (ar * Lp).astype(np.int64)
+
+        self.final_cycles = out_cycles
+        self.final_committed = out_committed
+        return [lane.series for lane in lanes]
+
+
+def simulate_batch(
+    config: MicroarchConfig,
+    traces,
+    bug: "CoreBugModel | None" = None,
+    step_cycles: int = 2048,
+    warmup: bool = True,
+    max_lanes: "int | None" = None,
+):
+    """Simulate every trace in *traces* on *config* with the lockstep kernel.
+
+    Returns a list of :class:`~repro.coresim.simulator.SimulationResult`
+    (imported lazily to avoid a module cycle), one per trace, bit-identical
+    to running :func:`~repro.coresim.simulator.simulate_trace` with the
+    scalar kernel on each trace individually.  Batches wider than the lane
+    cap are split into sub-batches.
+    """
+    from .simulator import SimulationResult
+
+    decoded = [decode_trace(t) for t in traces]
+    if not decoded:
+        return []
+    bug_name = (bug if bug is not None else BUG_FREE).name
+    results: list[SimulationResult] = []
+    longest = max(len(t) for t in decoded)
+    lanes_cap = _max_lanes_for(longest, max_lanes)
+    for start in range(0, len(decoded), lanes_cap):
+        chunk = decoded[start : start + lanes_cap]
+        batch = VectorBatch(config, chunk, bug, step_cycles, warmup)
+        series_list = batch.run()
+        fallback = set(batch.fallback)
+        for lane, series in enumerate(series_list):
+            if lane in fallback:
+                # straggler lanes re-run on the (bit-identical) scalar kernel
+                from .simulator import simulate_trace
+
+                results.append(
+                    simulate_trace(
+                        config,
+                        chunk[lane],
+                        bug=bug,
+                        step_cycles=step_cycles,
+                        warmup=warmup,
+                        kernel="scalar",
+                    )
+                )
+                continue
+            results.append(
+                SimulationResult(
+                    config_name=config.name,
+                    bug_name=bug_name,
+                    instructions=int(batch.final_committed[lane]),
+                    cycles=int(batch.final_cycles[lane]),
+                    series=series,
+                )
+            )
+    return results

@@ -40,13 +40,14 @@ import traceback
 from heapq import heappop, heappush
 from typing import Callable, Mapping, Sequence
 
+from ..coresim.simulator import resolve_kernel
 from .backends import (
     ExecutionBackend,
     default_backend_spec,
     parse_backend,
     spec_for_jobs,
 )
-from .execution import execute_job
+from .execution import _execute_unit, plan_batches, vector_group_key
 from .job import SimulationJob
 from .stats import EngineStats
 from .store import ResultStore, StoredResult
@@ -57,6 +58,11 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: Hard ceiling on the per-chunk job count (bounds pickling latency and
 #: keeps progress callbacks responsive on long batches).
 MAX_CHUNK_SIZE = 32
+
+#: Per-chunk ceiling when the vector kernel is active: chunks are the unit
+#: of batching inside workers, so same-config groups are kept much larger
+#: (job specs are small — traces ship separately by digest).
+VECTOR_CHUNK_SIZE = 256
 
 #: Scheduling strategies understood by :class:`JobEngine`.
 SCHEDULERS = ("ljf", "uniform")
@@ -186,6 +192,7 @@ class JobEngine:
         progress: Callable | None = None,
         scheduler: str = "ljf",
         backend: "str | ExecutionBackend | None" = None,
+        kernel: "str | None" = None,
     ) -> None:
         self.stats = EngineStats()
         self.backend = _resolve_backend(jobs, backend)
@@ -202,6 +209,25 @@ class JobEngine:
             )
         self.chunk_size = chunk_size
         self.scheduler = scheduler
+        #: Simulation kernel driving chunk planning (``None``: REPRO_KERNEL,
+        #: resolved per batch).  With the vector kernel, same-(config, bug,
+        #: step) jobs are planned into contiguous chunks so workers can run
+        #: them as lockstep batches.  Parallel-backend workers resolve the
+        #: kernel from *their* environment (the chunk wire format carries no
+        #: kernel field), so an explicit argument is only honoured on inline
+        #: backends — anything else is rejected here rather than silently
+        #: planning batches the workers would then execute one by one.
+        self.kernel = kernel
+        if kernel is not None:
+            resolved = resolve_kernel(kernel)  # validates the name too
+            if not self.backend.inline and resolved != resolve_kernel(None):
+                raise ValueError(
+                    f"kernel={kernel!r} with the non-inline backend "
+                    f"{self.backend.spec!r}: parallel workers resolve the "
+                    "kernel from their environment, so set "
+                    f"REPRO_KERNEL={kernel} instead of (or in addition to) "
+                    "the argument"
+                )
         self.progress = progress
         self._progress_args = _progress_arity(progress)
 
@@ -225,6 +251,45 @@ class JobEngine:
         spread = max(1, pending // (self.jobs * 4))
         return min(spread, MAX_CHUNK_SIZE)
 
+    def _plan_chunks_grouped(
+        self,
+        pending: list[tuple[int, SimulationJob]],
+        traces: Mapping,
+    ) -> list[list[tuple[int, SimulationJob]]]:
+        """Chunk planning for the vector kernel: group, then split.
+
+        Jobs sharing a :func:`vector_group_key` are laid out contiguously —
+        a chunk is the unit a worker batches, so scattering a sweep's jobs
+        across chunks would forfeit lockstep execution.  Groups are ordered
+        costliest-first (cost proxy as in LJF) and split only at the
+        vector chunk capacity; ungroupable jobs ride along in input order.
+        The plan is a deterministic function of the batch.
+        """
+        cap = self.chunk_size or VECTOR_CHUNK_SIZE
+        groups: dict[object, list[tuple[int, SimulationJob]]] = {}
+        for position, item in enumerate(pending):
+            key = vector_group_key(item[1])
+            groups.setdefault(key if key is not None else ("single", position), []).append(item)
+        ordered = sorted(
+            groups.values(),
+            key=lambda grp: (
+                -sum(_job_cost(job, traces) for _, job in grp),
+                grp[0][0],
+            ),
+        )
+        chunks: list[list[tuple[int, SimulationJob]]] = []
+        current: list[tuple[int, SimulationJob]] = []
+        for group in ordered:
+            for start in range(0, len(group), cap):
+                piece = group[start : start + cap]
+                if current and len(current) + len(piece) > cap:
+                    chunks.append(current)
+                    current = []
+                current.extend(piece)
+        if current:
+            chunks.append(current)
+        return chunks
+
     def _plan_chunks(
         self,
         pending: list[tuple[int, SimulationJob]],
@@ -236,8 +301,12 @@ class JobEngine:
         ``ljf`` performs longest-processing-time binning: jobs sorted by
         descending cost go to the least-loaded chunk with room, and chunks
         are returned costliest-first so the heaviest work starts earliest.
-        Both plans are deterministic functions of the batch.
+        Both plans are deterministic functions of the batch.  When the
+        vector kernel is selected, planning switches to
+        :meth:`_plan_chunks_grouped` so same-config sweeps stay batchable.
         """
+        if resolve_kernel(self.kernel) == "vector":
+            return self._plan_chunks_grouped(pending, traces)
         chunk_size = self._pick_chunk_size(len(pending))
         if self.scheduler == "uniform":
             return _chunked(pending, chunk_size)
@@ -324,16 +393,24 @@ class JobEngine:
             # place work *elsewhere*, so even one job goes through it.
             if self.backend.inline or (len(pending) == 1 and not self.backend.remote):
                 done = total - len(pending) - len(duplicates)
-                for index, job in pending:
+                job_of_index = dict(pending)
+                # Unit planning groups same-(config, bug, step) jobs into
+                # lockstep batches when the vector kernel is selected; with
+                # the scalar kernel every unit is one job (seed behaviour).
+                for unit in plan_batches(pending, self.kernel):
                     try:
-                        results[index] = execute_job(job, traces[job.trace_id])
+                        unit_results = _execute_unit(
+                            unit, {j.trace_id: traces[j.trace_id] for _, j in unit}
+                        )
                     except Exception as exc:
                         raise JobFailedError(
-                            job.describe(), traceback.format_exc()
+                            unit[0][1].describe(), traceback.format_exc()
                         ) from exc
-                    self._persist(job, results[index])
-                    done += 1
-                    self._report(done, total)
+                    for index, stored in unit_results:
+                        results[index] = stored
+                        self._persist(job_of_index[index], stored)
+                        done += 1
+                        self._report(done, total)
             else:
                 self._run_parallel(pending, traces, results, total, len(duplicates))
             self.stats.executed += len(pending)

@@ -6,6 +6,15 @@ RNG state restored afterwards — no matter which
 :class:`~repro.runtime.backends.ExecutionBackend` is driving it.  This module
 is the single implementation all of them call, so serial, local-pool and
 remote execution cannot drift apart.
+
+When the ``vector`` simulation kernel is selected (``REPRO_KERNEL=vector``,
+see :mod:`repro.coresim.vector`), core-study jobs that share a
+(config, bug, step) — the shape every sweep produces — are grouped into
+lockstep batches by :func:`plan_batches` and executed through
+:func:`~repro.coresim.simulator.simulate_trace_batch`.  Results are
+bit-identical to per-job execution (the batched kernel is pinned
+counter-identical to the scalar one), so store keys and stored content do
+not depend on the kernel or the grouping.
 """
 
 from __future__ import annotations
@@ -17,9 +26,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..coresim.simulator import simulate_trace
+from ..coresim.simulator import resolve_kernel, simulate_trace, simulate_trace_batch
+from ..coresim.vector import supports_vector
 from ..memsim.simulator import simulate_memory_trace
-from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob
+from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob, bug_fingerprint, config_fingerprint
 from .store import StoredResult
 
 
@@ -67,20 +77,94 @@ class ChunkFailure:
 ChunkOutcome = "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]"
 
 
+def vector_group_key(job: SimulationJob) -> "tuple | None":
+    """Batching key for the vector kernel, or ``None`` if the job can't batch.
+
+    Core-study jobs with a vector-eligible bug model group by
+    (config, bug, step) content; everything else (memory study,
+    hook-overriding bugs) executes singly on the scalar path.
+    """
+    if job.study != CORE_STUDY or not supports_vector(job.bug):
+        return None
+    return (config_fingerprint(job.config), bug_fingerprint(job.bug), job.step)
+
+
+def plan_batches(
+    chunk: Sequence["tuple[int, SimulationJob]"], kernel: "str | None" = None
+) -> "list[list[tuple[int, SimulationJob]]]":
+    """Split *chunk* into execution units: singles, or same-group batches.
+
+    With the scalar kernel every job is its own unit (exactly the historic
+    behaviour).  With the vector kernel, jobs sharing a
+    :func:`vector_group_key` merge into one unit, anchored at the position
+    of the group's first job, and execute as one lockstep batch.  Planning
+    is a pure function of the chunk, so every backend produces the same
+    units.
+    """
+    if resolve_kernel(kernel) != "vector":
+        return [[item] for item in chunk]
+    units: list[list[tuple[int, SimulationJob]]] = []
+    group_unit: dict[tuple, list[tuple[int, SimulationJob]]] = {}
+    for index, job in chunk:
+        key = vector_group_key(job)
+        if key is None:
+            units.append([(index, job)])
+            continue
+        unit = group_unit.get(key)
+        if unit is None:
+            unit = [(index, job)]
+            group_unit[key] = unit
+            units.append(unit)
+        else:
+            unit.append((index, job))
+    return units
+
+
+def _execute_unit(
+    unit: "list[tuple[int, SimulationJob]]", traces: Mapping
+) -> "list[tuple[int, StoredResult]]":
+    """Execute one planned unit (a single job or a same-group batch)."""
+    if len(unit) == 1:
+        index, job = unit[0]
+        return [(index, execute_job(job, traces[job.trace_id]))]
+    first = unit[0][1]
+    seed = first.seed()
+    python_state = random.getstate()
+    numpy_state = np.random.get_state()
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+    try:
+        results = simulate_trace_batch(
+            first.config,
+            [traces[job.trace_id] for _, job in unit],
+            bug=first.bug,
+            step_cycles=first.step,
+            kernel="vector",
+        )
+    finally:
+        random.setstate(python_state)
+        np.random.set_state(numpy_state)
+    return [
+        (index, StoredResult.from_core(result))
+        for (index, _job), result in zip(unit, results)
+    ]
+
+
 def run_chunk_items(
     chunk: Sequence["tuple[int, SimulationJob]"], traces: Mapping
 ) -> "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]":
     """Execute every ``(index, job)`` in *chunk* against the *traces* table.
 
-    Stops at the first failing job, returning the results completed so far
+    Stops at the first failing unit, returning the results completed so far
     together with a :class:`ChunkFailure` carrying the formatted traceback
     (exceptions from user bug models may not survive pickling, so the
-    traceback ships as text).
+    traceback ships as text).  A failure inside a vector batch is attributed
+    to the batch's first job.
     """
     results: list[tuple[int, StoredResult]] = []
-    for index, job in chunk:
+    for unit in plan_batches(chunk):
         try:
-            results.append((index, execute_job(job, traces[job.trace_id])))
+            results.extend(_execute_unit(unit, traces))
         except Exception:
-            return results, ChunkFailure(job.describe(), traceback.format_exc())
+            return results, ChunkFailure(unit[0][1].describe(), traceback.format_exc())
     return results, None

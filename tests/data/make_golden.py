@@ -1,0 +1,82 @@
+"""Regenerate the pinned golden counter-series digests (golden_series.json).
+
+One digest per microarchitecture preset, computed from the **frozen seed
+pipeline** (``repro.coresim._reference``) on the deterministic golden trace
+below, bug-free.  ``tests/test_differential.py`` then checks both live
+kernels (scalar and vector) against these digests in seconds, so oracle
+drift is caught without ever executing the slow reference pipeline in CI.
+
+Run this ONLY for a deliberate, reviewed change to simulation semantics::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+and commit the refreshed JSON together with the change that motivated it.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+#: Sampling step used for every golden simulation.
+STEP_CYCLES = 256
+
+#: Golden trace shape: long enough to exercise multiple sample steps on
+#: every preset, short enough to regenerate in under a minute.
+TRACE_LENGTH = 1800
+
+
+def golden_trace():
+    """The deterministic golden trace (shared by script and tests)."""
+    from repro.workloads import TraceGenerator, build_program, decode_trace, workload
+
+    program = build_program(workload("403.gcc"), seed=11)
+    return decode_trace(TraceGenerator(program, seed=12).generate(TRACE_LENGTH))
+
+
+def series_digest(result) -> str:
+    """Content digest of a SimulationResult's sampled counter series."""
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(f"cycles={result.cycles};instr={result.instructions};".encode())
+    series = result.series
+    hasher.update(f"step={series.step_cycles};".encode())
+    for name in sorted(series.counters):
+        hasher.update(name.encode())
+        hasher.update(series.counters[name].astype("<f8").tobytes())
+    hasher.update(b"|ipc|")
+    hasher.update(series.ipc.astype("<f8").tobytes())
+    return hasher.hexdigest()
+
+
+def main() -> int:
+    from repro.coresim._reference import reference_simulate_trace
+    from repro.uarch import all_core_microarches
+
+    trace = golden_trace()
+    digests = {}
+    for config in all_core_microarches():
+        result = reference_simulate_trace(
+            config, list(trace), step_cycles=STEP_CYCLES
+        )
+        digests[config.name] = series_digest(result)
+        print(f"{config.name:14s} {digests[config.name]}")
+    payload = {
+        "comment": (
+            "Golden counter-series digests of the frozen seed pipeline "
+            "(bug-free, default trace). Regenerate ONLY via make_golden.py "
+            "for a deliberate semantic change."
+        ),
+        "step_cycles": STEP_CYCLES,
+        "trace_length": TRACE_LENGTH,
+        "digests": dict(sorted(digests.items())),
+    }
+    out = Path(__file__).parent / "golden_series.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

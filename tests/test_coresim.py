@@ -154,3 +154,70 @@ class TestPipeline:
         result = simulate_trace(skylake, gcc_trace[:1000])
         assert result.runtime_seconds(skylake.clock_ghz) == pytest.approx(
             result.cycles / (skylake.clock_ghz * 1e9))
+
+
+class TestHookOverrideDetection:
+    """Regression tests for the class-level hook-override contract.
+
+    The pipeline (and the vector kernel's eligibility check) detect
+    overridden hooks once, at construction, by comparing class attributes
+    against :class:`CoreBugModel`.  A hook attached to the subclass *after*
+    class creation — a pattern bug prototypes use — must still be detected:
+    silently taking the BUG_FREE fast path would drop the injected bug.
+    """
+
+    def test_hook_assigned_after_class_creation_is_called(self, skylake, gcc_trace):
+        class LateBug(CoreBugModel):
+            name = "late"
+
+        calls = []
+
+        def serialize(self, uop):
+            calls.append(uop.opcode)
+            return False
+
+        LateBug.serialize = serialize  # attached post class creation
+        pipeline = O3Pipeline(skylake, bug=LateBug(), step_cycles=256)
+        assert pipeline._hook_serialize, "late class-level override not detected"
+        pipeline.run(gcc_trace[:400])
+        assert calls, "late-attached hook was never invoked"
+
+    def test_late_override_changes_timing(self, skylake, gcc_trace):
+        from repro.workloads import decode_trace
+
+        class LateSerialize(CoreBugModel):
+            name = "late-serialize"
+
+        LateSerialize.serialize = lambda self, uop: uop.opcode is Opcode.ADD
+        trace = decode_trace(gcc_trace[:800])
+        bugged = simulate_trace(skylake, trace, bug=LateSerialize(), step_cycles=256)
+        clean = simulate_trace(skylake, trace, step_cycles=256)
+        assert bugged.cycles > clean.cycles, (
+            "post-creation serialize override silently took the fast path"
+        )
+
+    def test_late_override_excluded_from_vector_kernel(self):
+        from repro.coresim import supports_vector
+
+        class LateDelay(CoreBugModel):
+            name = "late-delay"
+
+        assert supports_vector(LateDelay())  # nothing overridden yet
+        LateDelay.extra_issue_delay = lambda self, uop, context: 1
+        assert not supports_vector(LateDelay()), (
+            "vector eligibility must see post-creation hook overrides"
+        )
+
+    def test_structural_hooks_keep_vector_eligibility(self):
+        from repro.coresim import supports_vector
+
+        class Structural(CoreBugModel):
+            name = "structural"
+
+            def register_reduction(self):
+                return 8
+
+            def bp_table_entries(self, configured):
+                return configured // 2
+
+        assert supports_vector(Structural())

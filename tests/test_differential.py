@@ -1,0 +1,534 @@
+"""Differential-testing oracle for the simulation kernels.
+
+Three implementations of the core model must agree bit-for-bit on every
+sampled counter: the frozen seed pipeline (``coresim/_reference``), the
+optimized scalar pipeline (PR 2) and the numpy-batched lockstep vector
+kernel (``coresim/vector``).  This suite grows the hand-picked equivalence
+matrix of ``test_perf_equivalence.py`` into a *generator*: seeded random
+(synthetic trace, preset mutation, bug x severity) triples hammer the
+corners no hand-written case covers.
+
+The fuzz seed comes from ``REPRO_FUZZ_SEED`` (CI rotates it per run and
+logs it); the failing seed and case id are embedded in every assertion
+message, so any CI failure replays locally with::
+
+    REPRO_FUZZ_SEED=<seed> python -m pytest tests/test_differential.py
+
+Also here: the golden per-preset digests (oracle drift is caught in seconds
+without executing the reference pipeline — regenerate via
+``tests/data/make_golden.py``) and the cross-kernel engine/store contract
+(result-store content must not depend on the kernel that produced it).
+"""
+
+import dataclasses
+import importlib.util
+import json
+import os
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bugs.core_bugs import (
+    BPTableReduction,
+    DependencyDelay,
+    IQPressureDelay,
+    L2LatencyBug,
+    LongBranchDelay,
+    MispredictPenalty,
+    RegisterReduction,
+    SerializeOpcode,
+    StoresToLineDelay,
+)
+from repro.bugs.registry import core_bug_suite
+from repro.coresim import (
+    KERNELS,
+    resolve_kernel,
+    simulate_trace,
+    simulate_trace_batch,
+    supports_vector,
+)
+from repro.coresim._reference import reference_simulate_trace
+from repro.coresim.vector import simulate_batch
+from repro.runtime import JobEngine, ResultStore, SimulationJob, TraceRegistry
+from repro.uarch import all_core_microarches, core_microarch
+from repro.workloads import (
+    MicroOp,
+    Opcode,
+    TraceGenerator,
+    build_program,
+    decode_trace,
+    workload,
+)
+from repro.workloads.ingest import ingest_trace
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Default fuzz seed (deterministic local runs); CI rotates via the env var.
+DEFAULT_FUZZ_SEED = 20260730
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "") or DEFAULT_FUZZ_SEED)
+
+#: Scenarios x traces-per-scenario = fuzz cases run in tier-1.
+FUZZ_SCENARIOS = 13
+FUZZ_TRACES_PER_SCENARIO = 4
+
+
+def _assert_identical(a, b, context):
+    """Counter-bit-identity between two SimulationResults."""
+    assert a.cycles == b.cycles, f"{context}: cycles {a.cycles} != {b.cycles}"
+    assert a.instructions == b.instructions, context
+    sa, sb = a.series, b.series
+    assert sa.step_cycles == sb.step_cycles, context
+    assert set(sa.counters) == set(sb.counters), (
+        context,
+        set(sa.counters) ^ set(sb.counters),
+    )
+    assert np.array_equal(sa.ipc, sb.ipc), context
+    for name in sa.counters:
+        assert np.array_equal(sa.counters[name], sb.counters[name]), (context, name)
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzz generation
+# ---------------------------------------------------------------------------
+
+
+_FUZZ_OPCODES = [
+    Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MUL, Opcode.DIV,
+    Opcode.FADD, Opcode.FMUL, Opcode.FDIV, Opcode.VADD, Opcode.POPCNT,
+    Opcode.LOAD, Opcode.STORE, Opcode.BRANCH, Opcode.CALL, Opcode.RET,
+    Opcode.NOP, Opcode.MOV,
+]
+
+
+def _random_uops(rng: random.Random, length: int) -> list[MicroOp]:
+    """Adversarial random micro-ops: duplicate sources, clashing store/load
+    addresses, indirect branches, odd pcs — the corners synthetic programs
+    rarely produce."""
+    uops = []
+    pc = rng.randrange(0, 1 << 20) * 4
+    hot_addresses = [rng.randrange(0, 1 << 24) * 8 for _ in range(8)]
+    for _ in range(length):
+        opcode = rng.choice(_FUZZ_OPCODES)
+        n_srcs = rng.randrange(0, 3)
+        srcs = tuple(rng.randrange(0, 32) for _ in range(n_srcs))
+        if srcs and rng.random() < 0.15:
+            srcs = (srcs[0], srcs[0])  # duplicate operand
+        dest = rng.randrange(0, 32) if rng.random() < 0.6 else None
+        address = None
+        taken = None
+        target = None
+        indirect = False
+        if opcode in (Opcode.LOAD, Opcode.STORE):
+            address = (
+                rng.choice(hot_addresses)
+                if rng.random() < 0.5
+                else rng.randrange(0, 1 << 28)
+            )
+            dest = rng.randrange(0, 32) if opcode is Opcode.LOAD else None
+        elif opcode in (Opcode.BRANCH, Opcode.CALL, Opcode.RET):
+            dest = None
+            taken = rng.random() < 0.55
+            target = pc + rng.randrange(-4096, 4096) * 4
+            indirect = rng.random() < 0.2
+        uops.append(
+            MicroOp(
+                opcode=opcode,
+                srcs=srcs,
+                dest=dest,
+                pc=pc,
+                address=address,
+                taken=taken,
+                target=target,
+                indirect=indirect,
+            )
+        )
+        pc += 4
+    return uops
+
+
+def _mutate_preset(rng: random.Random, config):
+    """A structurally-valid random variation of a real preset."""
+    fields = {}
+    if rng.random() < 0.7:
+        fields["width"] = rng.choice([1, 2, 3, 4, 6, 8])
+    if rng.random() < 0.7:
+        fields["rob_size"] = rng.choice([16, 24, 48, 96, 160, 224])
+        fields["iq_size"] = 0  # re-derive from the new ROB
+        fields["lsq_size"] = 0
+        fields["num_phys_regs"] = 0
+    if rng.random() < 0.4:
+        fields["fetch_buffer"] = rng.choice([4, 8, 16, 32])
+    if rng.random() < 0.4:
+        fields["div_latency"] = rng.choice([8, 20, 40, 69])
+    if not fields:
+        fields["width"] = max(1, config.width - 1)
+    return dataclasses.replace(config, name=f"{config.name}-fuzz", **fields)
+
+
+def _random_bug(rng: random.Random):
+    """None, a structural (vector-eligible) bug, or a hook bug x severity."""
+    roll = rng.random()
+    if roll < 0.25:
+        return None
+    if roll < 0.5:
+        return rng.choice(
+            [
+                RegisterReduction(rng.choice([4, 16, 32, 64])),
+                BPTableReduction(rng.choice([1024, 3072, 3968])),
+            ]
+        )
+    return rng.choice(
+        [
+            SerializeOpcode(rng.choice([Opcode.XOR, Opcode.LOAD, Opcode.ADD])),
+            DependencyDelay(Opcode.ADD, Opcode.LOAD, rng.choice([3, 9, 27])),
+            IQPressureDelay(rng.choice([4, 8]), rng.choice([2, 10])),
+            MispredictPenalty(rng.choice([5, 15, 45])),
+            StoresToLineDelay(rng.choice([2, 6]), rng.choice([4, 12])),
+            L2LatencyBug(rng.choice([5, 25])),
+            LongBranchDelay(rng.choice([64, 1024]), rng.choice([4, 16])),
+        ]
+    )
+
+
+def _fuzz_cases():
+    """The seeded (config, bug, step, traces) scenarios for this run."""
+    rng = random.Random(FUZZ_SEED)
+    presets = all_core_microarches()
+    programs = [
+        build_program(workload("403.gcc"), seed=rng.randrange(1 << 16)),
+        build_program(workload("458.sjeng"), seed=rng.randrange(1 << 16)),
+    ]
+    scenarios = []
+    for case in range(FUZZ_SCENARIOS):
+        config = _mutate_preset(rng, rng.choice(presets))
+        bug = _random_bug(rng)
+        step = rng.choice([64, 256, 512])
+        warmup = rng.random() < 0.8
+        traces = []
+        for _ in range(FUZZ_TRACES_PER_SCENARIO):
+            if rng.random() < 0.5:
+                traces.append(
+                    decode_trace(
+                        TraceGenerator(
+                            rng.choice(programs), seed=rng.randrange(1 << 16)
+                        ).generate(rng.randrange(150, 900))
+                    )
+                )
+            else:
+                traces.append(
+                    decode_trace(_random_uops(rng, rng.randrange(120, 700)))
+                )
+        scenarios.append((case, config, bug, step, warmup, traces))
+    return scenarios
+
+
+class TestDifferentialFuzz:
+    """reference == scalar == vector over seeded random triples."""
+
+    def test_seed_is_reported(self, capsys):
+        print(f"[differential] REPRO_FUZZ_SEED={FUZZ_SEED}")
+        assert FUZZ_SEED >= 0
+
+    @pytest.mark.parametrize("case,config,bug,step,warmup,traces", _fuzz_cases(),
+                             ids=lambda v: str(v) if isinstance(v, int) else "")
+    def test_fuzz_case(self, case, config, bug, step, warmup, traces):
+        context = (
+            f"seed={FUZZ_SEED} case={case} config={config.name} "
+            f"bug={getattr(bug, 'name', None)} step={step} warmup={warmup} "
+            f"(replay: REPRO_FUZZ_SEED={FUZZ_SEED})"
+        )
+        vector_results = simulate_trace_batch(
+            config, traces, bug=bug, step_cycles=step, warmup=warmup,
+            kernel="vector",
+        )
+        for lane, trace in enumerate(traces):
+            scalar = simulate_trace(
+                config, trace, bug=bug, step_cycles=step, warmup=warmup,
+                kernel="scalar",
+            )
+            reference = reference_simulate_trace(
+                config, list(trace), bug=bug, step_cycles=step, warmup=warmup
+            )
+            _assert_identical(reference, scalar, f"{context} lane={lane} ref-vs-scalar")
+            _assert_identical(
+                scalar, vector_results[lane], f"{context} lane={lane} scalar-vs-vector"
+            )
+
+    def test_case_count_meets_floor(self):
+        # The tier-1 contract: at least 50 differential cases per run.
+        assert FUZZ_SCENARIOS * FUZZ_TRACES_PER_SCENARIO >= 50
+
+
+# ---------------------------------------------------------------------------
+# Vector kernel unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestVectorKernel:
+    def test_supports_vector_classification(self):
+        assert supports_vector(None)
+        assert supports_vector(RegisterReduction(8))
+        assert supports_vector(BPTableReduction(512))
+        assert not supports_vector(SerializeOpcode(Opcode.XOR))
+        assert not supports_vector(L2LatencyBug(10))
+        assert not supports_vector(MispredictPenalty(9))
+
+    def test_kernel_resolution(self, monkeypatch):
+        assert resolve_kernel(None) == "scalar"
+        assert resolve_kernel("vector") == "vector"
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        assert resolve_kernel(None) == "vector"
+        assert resolve_kernel("scalar") == "scalar"
+        with pytest.raises(ValueError):
+            resolve_kernel("simd")
+        assert set(KERNELS) == {"scalar", "vector"}
+
+    def test_hook_bug_falls_back_to_scalar(self, monkeypatch):
+        """kernel=vector with an ineligible bug must still be exact."""
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        program = build_program(workload("403.gcc"), seed=3)
+        trace = decode_trace(TraceGenerator(program, seed=4).generate(600))
+        config = core_microarch("Skylake")
+        bug = SerializeOpcode(Opcode.XOR)
+        env_result = simulate_trace(config, trace, bug=bug, step_cycles=256)
+        scalar = simulate_trace(
+            config, trace, bug=bug, step_cycles=256, kernel="scalar"
+        )
+        _assert_identical(scalar, env_result, "hook-bug fallback")
+
+    def test_ragged_batch_with_straggler_fallback(self):
+        """Mixed trace lengths drive compaction and the scalar hand-off."""
+        program = build_program(workload("403.gcc"), seed=7)
+        traces = [
+            decode_trace(TraceGenerator(program, seed=100 + i).generate(150))
+            for i in range(36)
+        ]
+        traces.append(
+            decode_trace(TraceGenerator(program, seed=999).generate(2500))
+        )
+        config = core_microarch("Cedarview")
+        vec = simulate_trace_batch(config, traces, step_cycles=256, kernel="vector")
+        for trace, got in zip(traces, vec):
+            want = simulate_trace(config, trace, step_cycles=256, kernel="scalar")
+            _assert_identical(want, got, "ragged+fallback")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(core_microarch("K8"), [decode_trace([])], step_cycles=64)
+
+    def test_batch_of_one_matches_scalar(self, gcc_trace, skylake):
+        trace = decode_trace(gcc_trace[:700])
+        scalar = simulate_trace(skylake, trace, step_cycles=256, kernel="scalar")
+        vector = simulate_trace(skylake, trace, step_cycles=256, kernel="vector")
+        _assert_identical(scalar, vector, "batch-of-one")
+
+    def test_sub_batch_split_matches_unsplit(self, gcc_program):
+        traces = [
+            decode_trace(TraceGenerator(gcc_program, seed=60 + i).generate(300))
+            for i in range(9)
+        ]
+        config = core_microarch("K8")
+        whole = simulate_batch(config, traces, step_cycles=256)
+        split = simulate_batch(config, traces, step_cycles=256, max_lanes=4)
+        for a, b in zip(whole, split):
+            _assert_identical(a, b, "sub-batch split")
+
+
+# ---------------------------------------------------------------------------
+# Golden digests: oracle drift caught without executing the reference
+# ---------------------------------------------------------------------------
+
+
+def _load_make_golden():
+    spec = importlib.util.spec_from_file_location(
+        "make_golden", DATA_DIR / "make_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGoldenDigests:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(DATA_DIR / "golden_series.json", "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    @pytest.fixture(scope="class")
+    def make_golden(self):
+        return _load_make_golden()
+
+    def test_golden_covers_every_preset(self, golden):
+        assert set(golden["digests"]) == {c.name for c in all_core_microarches()}
+        assert len(golden["digests"]) == 20
+
+    def test_scalar_kernel_matches_golden(self, golden, make_golden):
+        trace = make_golden.golden_trace()
+        for config in all_core_microarches():
+            result = simulate_trace(
+                config, trace, step_cycles=make_golden.STEP_CYCLES, kernel="scalar"
+            )
+            digest = make_golden.series_digest(result)
+            assert digest == golden["digests"][config.name], (
+                f"{config.name}: scalar kernel drifted from the pinned oracle "
+                "(regenerate via tests/data/make_golden.py ONLY for a "
+                "deliberate semantic change)"
+            )
+
+    def test_vector_kernel_matches_golden(self, golden, make_golden):
+        trace = make_golden.golden_trace()
+        for config in all_core_microarches():
+            result = simulate_trace_batch(
+                config,
+                [trace],
+                step_cycles=make_golden.STEP_CYCLES,
+                kernel="vector",
+            )[0]
+            digest = make_golden.series_digest(result)
+            assert digest == golden["digests"][config.name], (
+                f"{config.name}: vector kernel drifted from the pinned oracle"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Cross-kernel engine/store contract
+# ---------------------------------------------------------------------------
+
+
+def _engine_jobs(registry: TraceRegistry, trace_ids, step=256):
+    from repro.bugs.core_bugs import SerializeOpcode as Ser
+
+    return [
+        SimulationJob(study="core", config=core_microarch(name), bug=bug,
+                      trace_id=tid, step=step)
+        for name in ("Skylake", "K8")
+        for bug in (None, RegisterReduction(16), Ser(Opcode.XOR))
+        for tid in trace_ids
+    ]
+
+
+class TestCrossKernelEngine:
+    @pytest.fixture()
+    def synthetic_registry(self, gcc_program):
+        registry = TraceRegistry()
+        ids = [
+            registry.register(
+                decode_trace(TraceGenerator(gcc_program, seed=70 + i).generate(500))
+            )
+            for i in range(4)
+        ]
+        return registry, ids
+
+    def test_vector_engine_results_match_scalar(self, synthetic_registry, monkeypatch):
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        scalar = JobEngine(jobs=1).run(jobs, registry.traces)
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        vector = JobEngine(jobs=1).run(jobs, registry.traces)
+        for a, b in zip(scalar, vector):
+            assert a.cycles == b.cycles
+            assert set(a.counters) == set(b.counters)
+            for name in a.counters:
+                assert np.array_equal(a.counters[name], b.counters[name]), name
+
+    def test_scalar_store_replays_under_vector(
+        self, synthetic_registry, tmp_path, monkeypatch
+    ):
+        """Content digests must not depend on the kernel: a store filled by
+        the scalar kernel serves a REPRO_KERNEL=vector run with executed=0."""
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        filler = JobEngine(jobs=1, store=store)
+        filler.run(jobs, registry.traces)
+        assert filler.stats.executed == len(jobs)
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        replayer = JobEngine(jobs=1, store=store)
+        replayer.run(jobs, registry.traces)
+        assert replayer.stats.executed == 0
+        assert replayer.stats.store_hits == len(jobs)
+
+    def test_vector_store_replays_under_scalar(
+        self, synthetic_registry, tmp_path, monkeypatch
+    ):
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        replayer = JobEngine(jobs=1, store=store)
+        replayer.run(jobs, registry.traces)
+        assert replayer.stats.executed == 0
+
+    def test_cross_kernel_on_ingested_golden_traces(self, tmp_path, monkeypatch):
+        """Same contract over the checked-in on-disk trace samples."""
+        registry = TraceRegistry()
+        ids = []
+        for sample in ("403.gcc.champsim.gz", "458.sjeng.champsim.xz"):
+            ingested = ingest_trace(DATA_DIR / sample)
+            ids.append(registry.register(decode_trace(ingested.decoded.uops[:600])))
+        jobs = [
+            SimulationJob(study="core", config=core_microarch(name), bug=bug,
+                          trace_id=tid, step=256)
+            for name in ("Skylake", "Cedarview")
+            for bug in (None, BPTableReduction(1024))
+            for tid in ids
+        ]
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        scalar = JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        replayer = JobEngine(jobs=1, store=store)
+        vector = replayer.run(jobs, registry.traces)
+        assert replayer.stats.executed == 0  # digests are kernel-independent
+        # and a fresh vector run over the same jobs is bit-identical
+        fresh = JobEngine(jobs=1).run(jobs, registry.traces)
+        for a, b in zip(scalar, fresh):
+            assert a.cycles == b.cycles
+            for name in a.counters:
+                assert np.array_equal(a.counters[name], b.counters[name]), name
+        del vector
+
+    def test_grouped_planning_keeps_sweeps_contiguous(
+        self, synthetic_registry, monkeypatch
+    ):
+        from repro.runtime.execution import vector_group_key
+
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        engine = JobEngine(jobs=2)
+        plan = engine._plan_chunks(list(enumerate(jobs)), registry.traces)
+        # every job appears exactly once
+        seen = sorted(i for chunk in plan for i, _ in chunk)
+        assert seen == list(range(len(jobs)))
+        # within each chunk, batchable groups are contiguous runs
+        for chunk in plan:
+            keys = [vector_group_key(job) for _, job in chunk]
+            compact = [k for k, prev in zip(keys, [object()] + keys) if k != prev]
+            groupable = [k for k in compact if k is not None]
+            assert len(groupable) == len(set(groupable)), "group split apart"
+
+    def test_engine_kernel_argument_validated(self):
+        with pytest.raises(ValueError):
+            JobEngine(jobs=1, kernel="warp")
+
+    def test_explicit_kernel_rejected_on_parallel_backend(self, monkeypatch):
+        """Workers resolve the kernel from their environment, so an explicit
+        kernel= that the environment contradicts must fail fast instead of
+        planning batches the workers would execute job by job."""
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            JobEngine(jobs=2, kernel="vector")
+        # consistent environment + argument is fine
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        JobEngine(jobs=2, kernel="vector").close()
+        # inline backends honour the argument alone
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        JobEngine(jobs=1, kernel="vector").close()

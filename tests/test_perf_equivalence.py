@@ -410,9 +410,14 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         assert report["single"]["counter_equivalence_checked"]
+        assert report["single"]["kernel"] == "scalar"
         assert report["single"]["aggregate_speedup"] > 1.0
+        assert report["batch"]["kernel"] == "vector"
+        assert report["batch"]["counter_equivalence_checked"]
+        assert report["batch"]["aggregate_speedup"] > 0.0
+        assert set(report["batch"]["presets"]) == {"Skylake", "Cedarview"}
         assert set(report["engine"]["schedulers"]) == {"ljf", "uniform"}
         assert report["engine"]["backend"] == "local:2"
         assert all(
@@ -421,3 +426,20 @@ class TestBenchHarness:
         )
         assert report["store"]["warm_store_hits"] == report["store"]["jobs"]
         assert report["store"]["cold_executed"] == report["store"]["jobs"]
+
+    def test_batch_speedup_column_readable_by_ratchet(self, tmp_path):
+        import json
+
+        from repro.bench.ratchet import read_batch_speedup, read_speedup
+
+        report = {
+            "single": {"aggregate_speedup": 3.1},
+            "batch": {"aggregate_speedup": 1.4},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert read_speedup(path) == 3.1
+        assert read_batch_speedup(path) == 1.4
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"single": {"aggregate_speedup": 3.0}}))
+        assert read_batch_speedup(legacy) is None
