@@ -17,14 +17,22 @@
   stdio frame protocol for the ``subprocess:`` and ``ssh://`` backends
   (see ``docs/RUNTIME.md``);
 * ``repro-store`` — result-store maintenance
-  (``python -m repro.runtime.store_cli``: ``merge SRC... DST``, ``info``).
+  (``python -m repro.runtime.store_cli``: ``merge SRC... DST``, ``info``);
+* ``repro-serve`` — the detection serving daemon
+  (``python -m repro.serve.server``): ``train`` persists a detection model
+  to a registry file, ``run`` serves it over a socket at interactive
+  latency (see ``docs/SERVING.md``);
+* ``repro-client`` — the daemon's client
+  (``python -m repro.serve.client``: ``probe``, ``ping``, ``stats``,
+  ``shutdown``), including the ``--offline`` reference scoring path CI
+  diffs the daemon against.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"
@@ -40,6 +48,8 @@ setup(
             "repro-ingest=repro.workloads.ingest:main",
             "repro-worker=repro.runtime.worker:main",
             "repro-store=repro.runtime.store_cli:main",
+            "repro-serve=repro.serve.server:main",
+            "repro-client=repro.serve.client:main",
         ],
     },
 )

@@ -22,6 +22,13 @@ against:
   ``backend`` column of every scheduler row.
 * ``store``    — cold simulate-and-fill versus warm replay against a
   :class:`~repro.runtime.ResultStore`.
+* ``serve``    — end-to-end verdict latency through the ``repro-serve``
+  detection daemon (:mod:`repro.serve`): a model is trained once, a daemon
+  is started in-process, and probe-batch requests are timed over the real
+  socket protocol — one cold pass (simulating) and several warm passes
+  (served from the resident overlay, ``executed == 0`` asserted).  The
+  headline numbers are warm p50/p99 per-verdict latency and verdicts/sec,
+  recorded (not gated) by the perf ratchet.
 * ``batch``    — batched same-config sweeps: N probes of one design run
   through the numpy lockstep **vector kernel**
   (:func:`repro.coresim.simulate_trace_batch`) versus the same N probes
@@ -58,7 +65,9 @@ from ..workloads.isa import Opcode
 #: v2: engine section gained a ``backend`` spec column per scheduler row.
 #: v3: new ``batch`` section (vector-kernel batched sweeps) and a
 #:     ``kernel`` column on the single/batch rows.
-SCHEMA_VERSION = 3
+#: v4: new ``serve`` section (repro-serve daemon verdict latency: warm
+#:     p50/p99 ms and verdicts/sec over the socket protocol).
+SCHEMA_VERSION = 4
 
 #: Default output file, kept at the repo root by CI so the perf trajectory
 #: of the project lives beside the code that produced it.
@@ -317,6 +326,97 @@ def bench_store(probes: Sequence[Probe], quick: bool) -> dict:
     }
 
 
+#: Warm probe-batch passes timed by the serve benchmark.
+SERVE_WARM_ROUNDS = 5
+SERVE_WARM_ROUNDS_QUICK = 3
+
+
+def _latency_stats(latencies_ms: "list[float]", seconds: float) -> dict:
+    values = np.asarray(latencies_ms, dtype=float)
+    return {
+        "verdicts": int(values.size),
+        "seconds": round(seconds, 4),
+        "p50_ms": round(float(np.percentile(values, 50)), 3),
+        "p99_ms": round(float(np.percentile(values, 99)), 3),
+        "verdicts_per_sec": round(values.size / seconds, 2) if seconds else None,
+    }
+
+
+def bench_serve(quick: bool) -> dict:
+    """End-to-end verdict latency through a resident ``repro-serve`` daemon.
+
+    Trains a model once (the train-once cost is reported, not part of the
+    serving numbers), starts the daemon in-process, and times probe-batch
+    requests over the real socket protocol.  The cold pass simulates; the
+    warm passes must be served entirely from the resident overlay
+    (``executed == 0`` is asserted, mirroring the store benchmark's warm
+    replay) — so the warm latencies measure framing + dedup + scoring only.
+    """
+    from ..bugs.registry import core_bug_suite
+    from ..experiments.common import ExperimentContext
+    from ..serve import DetectionServer, ServeClient, train_model
+
+    train_start = time.perf_counter()
+    with ExperimentContext(scale="smoke") as context:
+        probes = context.probes[:2] if quick else None
+        setup = context.detection_setup(probes=probes)
+        model = train_model(setup, name="bench")
+    train_seconds = time.perf_counter() - train_start
+
+    presets = QUICK_PRESETS if quick else STANDARD_PRESETS
+    suite = core_bug_suite()
+    bugs = [None] + [variants[0] for _, variants in sorted(suite.items())]
+    items = [(core_microarch(preset), bug) for preset in presets for bug in bugs]
+    rounds = SERVE_WARM_ROUNDS_QUICK if quick else SERVE_WARM_ROUNDS
+
+    def timed_pass(client: ServeClient) -> "tuple[list[float], float, int]":
+        # One single-item request per design-under-test: each latency sample
+        # is a full request→verdict round trip over the socket (streamed
+        # frames inside one big batch would arrive buffered back-to-back and
+        # undercount).  The simulation work is identical either way — every
+        # item is its own lockstep batch.
+        latencies = []
+        executed = 0
+        start = time.perf_counter()
+        for item in items:
+            item_start = time.perf_counter()
+            for _ in client.probe_batch([item]):
+                pass
+            latencies.append((time.perf_counter() - item_start) * 1000.0)
+            executed += client.last_batch["executed"]
+        return latencies, time.perf_counter() - start, executed
+
+    with DetectionServer(model).start() as server:
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            cold_latencies, cold_seconds, cold_executed = timed_pass(client)
+            warm_latencies: list[float] = []
+            warm_executed = 0
+            warm_start = time.perf_counter()
+            for _ in range(rounds):
+                latencies, _, executed = timed_pass(client)
+                warm_latencies.extend(latencies)
+                warm_executed += executed
+            warm_seconds = time.perf_counter() - warm_start
+    if warm_executed:
+        raise AssertionError(
+            f"serve bench warm passes executed {warm_executed} simulations "
+            "(expected 0: every job must be served from the resident overlay)"
+        )
+    cold = _latency_stats(cold_latencies, cold_seconds)
+    cold["executed"] = cold_executed
+    warm = _latency_stats(warm_latencies, warm_seconds)
+    warm["executed"] = warm_executed
+    warm["rounds"] = rounds
+    return {
+        "model_probes": len(model.probes),
+        "training_seconds": round(train_seconds, 2),
+        "items_per_batch": len(items),
+        "cold": cold,
+        "warm": warm,
+    }
+
+
 def run_benchmarks(
     quick: bool = False, jobs: int = 2, backend: str | None = None
 ) -> dict:
@@ -331,6 +431,7 @@ def run_benchmarks(
         "batch": bench_batch(quick),
         "engine": bench_engine(probes, jobs, quick, backend=backend),
         "store": bench_store(probes, quick),
+        "serve": bench_serve(quick),
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -398,6 +499,14 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  store replay: {store['replay_speedup']}x "
         f"({store['warm_store_hits']} hits in {store['warm_seconds']}s)"
+    )
+    serve = report["serve"]
+    print(
+        f"  serve[warm]: {serve['warm']['p50_ms']} ms p50 / "
+        f"{serve['warm']['p99_ms']} ms p99 per verdict, "
+        f"{serve['warm']['verdicts_per_sec']} verdicts/s "
+        f"(executed={serve['warm']['executed']}, "
+        f"{serve['model_probes']} probes resident)"
     )
     return 0
 

@@ -65,6 +65,21 @@ def read_batch_speedup(path: "str | Path") -> "float | None":
     return float(batch["aggregate_speedup"])
 
 
+def read_serve_latency(path: "str | Path") -> "tuple[float, float] | None":
+    """The ``serve`` warm (p50_ms, verdicts_per_sec) pair (None pre-v4).
+
+    Like the batch column, the serving-latency trajectory is *recorded and
+    tracked*, not gated: socket round-trip times on shared CI runners swing
+    far more than the single-thread headline.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    warm = report.get("serve", {}).get("warm")
+    if not warm:
+        return None
+    return float(warm["p50_ms"]), float(warm["verdicts_per_sec"])
+
+
 @dataclass
 class RatchetResult:
     """Outcome of one ratchet evaluation."""
@@ -144,6 +159,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     speedups = []
     batches = []
+    serve_p50s = []
+    serve_rates = []
     for path in args.reports:
         speedup = read_speedup(path)
         speedups.append(speedup)
@@ -151,10 +168,22 @@ def main(argv: "list[str] | None" = None) -> int:
         if batch is not None:
             batches.append(batch)
         batch_note = f", batch(vector) {batch:g}x" if batch is not None else ""
-        print(f"  {path}: {speedup:g}x{batch_note}")
+        serve = read_serve_latency(path)
+        serve_note = ""
+        if serve is not None:
+            serve_p50s.append(serve[0])
+            serve_rates.append(serve[1])
+            serve_note = f", serve {serve[0]:g}ms p50"
+        print(f"  {path}: {speedup:g}x{batch_note}{serve_note}")
     if batches:
         print(
             f"  batch(vector) median {statistics.median(batches):g}x "
+            "(tracked, not gated)"
+        )
+    if serve_p50s:
+        print(
+            f"  serve warm median {statistics.median(serve_p50s):g}ms p50, "
+            f"{statistics.median(serve_rates):g} verdicts/s "
             "(tracked, not gated)"
         )
 

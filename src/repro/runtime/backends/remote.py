@@ -12,7 +12,9 @@ worker process per slot and drives each over a private pipe pair:
 * ``ssh://hostA:4,hostB:4`` — the same protocol over ``ssh host
   repro-worker``; ``repro`` must be installed (or importable) on each host.
 
-Wire protocol (version-checked at handshake):
+Wire protocol (version-checked at handshake; framing and handshake live in
+the shared :mod:`repro.runtime.framing` module, which the ``repro-serve``
+detection daemon reuses over sockets):
 
 * Every frame is an 8-byte big-endian length followed by a pickled
   ``(kind, payload)`` tuple.  Oversized or truncated frames raise
@@ -42,101 +44,31 @@ workers, and results persisted so far stay in the
 
 from __future__ import annotations
 
-import pickle
 import queue
-import struct
 import subprocess
 import sys
 import threading
 import weakref
-from typing import BinaryIO, Iterator, Mapping, Sequence, Set
+from typing import Iterator, Mapping, Sequence, Set
 
+# Framing, frame kinds and the handshake check are shared runtime-wide (the
+# repro-serve daemon speaks the same format over sockets); re-exported here
+# because this module is their historic home.
+from ..framing import (  # noqa: F401  (re-exported API)
+    CHUNK,
+    ERROR,
+    HELLO,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    RESULT,
+    SHUTDOWN,
+    TRACES,
+    ProtocolError,
+    check_hello,
+    read_frame,
+    write_frame,
+)
 from .base import BackendError, ExecutionBackend
-
-#: Version of the frame protocol; bump on any incompatible layout change.
-#: Driver and worker both refuse to talk across a mismatch.
-PROTOCOL_VERSION = 1
-
-#: Upper bound on a single frame body.  Real frames are far smaller; a
-#: length beyond this means the stream is garbage (e.g. a worker printing
-#: to stdout), and failing fast beats trying to allocate petabytes.
-MAX_FRAME_BYTES = 1 << 30
-
-#: Frame kinds.
-HELLO = "hello"
-TRACES = "traces"
-CHUNK = "chunk"
-RESULT = "result"
-ERROR = "error"
-SHUTDOWN = "shutdown"
-
-_HEADER = struct.Struct(">Q")
-
-
-class ProtocolError(BackendError):
-    """The frame stream broke: truncation, garbage, or a version mismatch."""
-
-
-# -- framing -----------------------------------------------------------------
-
-
-def write_frame(stream: BinaryIO, kind: str, payload) -> None:
-    """Write one length-prefixed pickle frame and flush."""
-    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
-    stream.write(_HEADER.pack(len(body)))
-    stream.write(body)
-    stream.flush()
-
-
-def _read_exact(stream: BinaryIO, size: int) -> bytes:
-    data = b""
-    while len(data) < size:
-        piece = stream.read(size - len(data))
-        if not piece:
-            raise ProtocolError(
-                f"truncated frame: expected {size} bytes, got {len(data)}"
-            )
-        data += piece
-    return data
-
-
-def read_frame(stream: BinaryIO, allow_eof: bool = False):
-    """Read one frame, returning ``(kind, payload)``.
-
-    At a clean frame boundary, EOF returns ``None`` when *allow_eof* is set
-    (the peer closed the connection deliberately) and raises
-    :class:`ProtocolError` otherwise.  EOF inside a frame is always a
-    :class:`ProtocolError`.
-    """
-    first = stream.read(1)
-    if not first:
-        if allow_eof:
-            return None
-        raise ProtocolError("connection closed while waiting for a frame")
-    header = first + _read_exact(stream, _HEADER.size - 1)
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"oversized frame: {length} bytes (stream is garbage?)")
-    try:
-        frame = pickle.loads(_read_exact(stream, length))
-    except ProtocolError:
-        raise
-    except Exception as exc:
-        raise ProtocolError(f"undecodable frame: {exc}") from exc
-    if not (isinstance(frame, tuple) and len(frame) == 2 and isinstance(frame[0], str)):
-        raise ProtocolError(f"malformed frame: {type(frame).__name__}")
-    return frame
-
-
-def check_hello(payload, side: str) -> None:
-    """Validate a handshake payload against our :data:`PROTOCOL_VERSION`."""
-    version = payload.get("protocol") if isinstance(payload, dict) else None
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"protocol version mismatch: {side} speaks {version!r}, "
-            f"this side speaks {PROTOCOL_VERSION}"
-        )
-
 
 # -- worker commands ---------------------------------------------------------
 

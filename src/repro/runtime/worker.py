@@ -33,7 +33,7 @@ import os
 import platform
 import sys
 
-from .backends.remote import (
+from .framing import (
     CHUNK,
     ERROR,
     HELLO,
@@ -42,6 +42,7 @@ from .backends.remote import (
     SHUTDOWN,
     TRACES,
     ProtocolError,
+    hello_version,
     read_frame,
     write_frame,
 )
@@ -56,7 +57,7 @@ def serve(stdin, stdout) -> int:
         write_frame(stdout, ERROR, f"handshake failed: {exc}")
         return 2
     kind, payload = frame
-    version = payload.get("protocol") if isinstance(payload, dict) else None
+    version = hello_version(payload)
     if kind != HELLO or version != PROTOCOL_VERSION:
         write_frame(
             stdout,

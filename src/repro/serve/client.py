@@ -1,0 +1,300 @@
+"""``repro-client``: talk to a running ``repro-serve`` detection daemon.
+
+:class:`ServeClient` is the programmatic client (used by tests, benchmarks
+and CI): it connects, completes the versioned hello handshake, and exposes
+``probe_batch``/``ping``/``stats``/``shutdown`` over the shared frame
+protocol (:mod:`repro.runtime.framing`).  ``probe_batch`` is a generator —
+verdicts stream back one frame per item, so the first answer is usable
+while the daemon is still simulating later items.
+
+The CLI prints one deterministic ``verdict ...`` line per item (floats
+rendered with ``%.17g``, i.e. round-trip exact), so two transcripts are
+bit-identical iff the verdicts are — CI diffs the daemon's output against
+``--offline`` mode, which scores the same requests through the offline
+:class:`~repro.detect.dataset.SimulationCache` path with no daemon at all::
+
+    repro-client probe --connect 127.0.0.1:7781 --preset Skylake --bug Serialized:0
+    repro-client probe --offline model.pkl      --preset Skylake --bug Serialized:0
+    repro-client ping  --connect 127.0.0.1:7781
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+from typing import Iterator
+
+from ..runtime.framing import (
+    HELLO,
+    PROTOCOL_VERSION,
+    SHUTDOWN,
+    ProtocolError,
+    check_hello,
+    read_frame,
+    write_frame,
+)
+
+
+class ServeClient:
+    """One connection to a detection daemon (context manager)."""
+
+    def __init__(self, host: str, port: int, timeout: "float | None" = 60.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            # Request frames are small; see the matching server-side setting.
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
+        self.reader = self.sock.makefile("rb")
+        self.writer = self.sock.makefile("wb")
+        self.server_hello: dict = {}
+        #: Summary payload of the most recent completed ``probe_batch``.
+        self.last_batch: "dict | None" = None
+        try:
+            self._handshake()
+        except Exception:
+            self.close()
+            raise
+
+    def _handshake(self) -> None:
+        write_frame(self.writer, HELLO, {"protocol": PROTOCOL_VERSION})
+        kind, payload = read_frame(self.reader)
+        if kind == "error":
+            raise ProtocolError(f"server rejected handshake: {payload}")
+        if kind != HELLO:
+            raise ProtocolError(f"server sent {kind!r} instead of a handshake")
+        check_hello(payload, side="server")
+        self.server_hello = payload
+
+    def _request(self, kind: str, payload=None) -> tuple:
+        write_frame(self.writer, kind, payload)
+        reply = read_frame(self.reader)
+        reply_kind, reply_payload = reply
+        if reply_kind == "error":
+            raise ProtocolError(f"server error: {reply_payload}")
+        return reply_kind, reply_payload
+
+    # -- requests --------------------------------------------------------------
+
+    def probe_batch(self, items: "list[tuple]") -> Iterator[dict]:
+        """Stream verdict rows for ``[(config, bug-or-None), ...]``.
+
+        Yields one dict per item as the daemon finishes it; after the
+        generator is exhausted, :attr:`last_batch` holds the batch summary
+        (items served, simulations executed, store hits, elapsed seconds).
+        """
+        self.last_batch = None
+        write_frame(self.writer, "probe_batch", {"items": list(items)})
+        while True:
+            kind, payload = read_frame(self.reader)
+            if kind == "verdict":
+                yield payload
+            elif kind == "done":
+                self.last_batch = payload
+                return
+            elif kind == "error":
+                raise ProtocolError(f"server error: {payload}")
+            else:
+                raise ProtocolError(f"unexpected {kind!r} frame in a probe batch")
+
+    def ping(self) -> dict:
+        kind, payload = self._request("ping")
+        if kind != "pong":
+            raise ProtocolError(f"ping answered with {kind!r}")
+        return payload
+
+    def stats(self) -> dict:
+        kind, payload = self._request("stats")
+        if kind != "stats":
+            raise ProtocolError(f"stats answered with {kind!r}")
+        return payload
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit; returns its farewell payload."""
+        kind, payload = self._request(SHUTDOWN)
+        if kind != "bye":
+            raise ProtocolError(f"shutdown answered with {kind!r}")
+        return payload
+
+    def close(self) -> None:
+        for stream in (getattr(self, "writer", None), getattr(self, "reader", None)):
+            try:
+                if stream is not None:
+                    stream.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _parse_connect(spec: str) -> tuple:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"repro-client: --connect wants HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _resolve_items(args) -> "list[tuple]":
+    """Expand ``--preset``/``--bug`` flags into (config, bug-or-None) items."""
+    from ..bugs.registry import core_bug_suite
+    from ..uarch.presets import core_microarch
+
+    configs = [core_microarch(name) for name in (args.preset or ["Skylake"])]
+    bugs = []
+    suite = core_bug_suite()
+    for spec in args.bug or []:
+        if spec in ("bug-free", "none"):
+            bugs.append(None)
+            continue
+        bug_type, _, index = spec.partition(":")
+        if bug_type not in suite:
+            raise SystemExit(
+                f"repro-client: unknown bug type {bug_type!r} "
+                f"(known: {', '.join(sorted(suite))})"
+            )
+        variants = suite[bug_type]
+        try:
+            bugs.append(variants[int(index) if index else 0])
+        except (IndexError, ValueError):
+            raise SystemExit(
+                f"repro-client: bug type {bug_type!r} has "
+                f"{len(variants)} variants; got index {index!r}"
+            )
+    if not bugs:
+        bugs = [None]
+    return [(config, bug) for config in configs for bug in bugs]
+
+
+def _print_verdict(row: dict) -> None:
+    """One canonical line per verdict; %.17g keeps floats round-trip exact."""
+    errors = ",".join("%.17g" % e for e in row["errors"])
+    print(
+        "verdict config=%s bug=%s detected=%d score=%.17g errors=%s"
+        % (
+            row["config_name"],
+            row["bug_name"],
+            1 if row["detected"] else 0,
+            row["score"],
+            errors,
+        )
+    )
+
+
+def _cmd_probe(args) -> int:
+    items = _resolve_items(args)
+    if args.offline:
+        return _probe_offline(args, items)
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port) as client:
+        for row in client.probe_batch(items):
+            _print_verdict(row)
+        summary = client.last_batch or {}
+    print(
+        "[serve] items=%d executed=%d store_hits=%d elapsed_seconds=%s"
+        % (
+            summary.get("items", 0),
+            summary.get("executed", 0),
+            summary.get("store_hits", 0),
+            summary.get("elapsed_seconds", "?"),
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _probe_offline(args, items) -> int:
+    """Score the same requests with no daemon: the offline reference path."""
+    from ..detect.dataset import SimulationCache
+    from ..runtime import JobEngine, ResultStore
+    from .registry import load_model, offline_verdicts
+
+    model = load_model(args.offline)
+    store = ResultStore(args.store) if args.store else None
+    engine = JobEngine(jobs=1, store=store)
+    try:
+        cache = SimulationCache(step_cycles=model.schema.step_cycles, engine=engine)
+        for verdict in offline_verdicts(model, cache, items):
+            _print_verdict(verdict.row())
+    finally:
+        engine.close()
+    print("[offline] items=%d" % len(items), file=sys.stderr)
+    return 0
+
+
+def _cmd_ping(args) -> int:
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port) as client:
+        payload = client.ping()
+    for key in sorted(payload):
+        print(f"{key}: {payload[key]}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port) as client:
+        payload = client.stats()
+    for key in sorted(payload):
+        print(f"{key}: {payload[key]}")
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port) as client:
+        payload = client.shutdown()
+    print(f"repro-client: daemon draining after {payload.get('uptime_seconds')}s")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-client", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    probe = commands.add_parser(
+        "probe", help="request verdicts for (preset, bug) design-under-test items"
+    )
+    probe.add_argument("--connect", default="127.0.0.1:0",
+                       help="daemon address as HOST:PORT")
+    probe.add_argument("--offline", default=None, metavar="REGISTRY",
+                       help="score through the offline cache path with this "
+                            "model registry instead of a daemon")
+    probe.add_argument("--store", default=None,
+                       help="persistent result store for --offline scoring")
+    probe.add_argument("--preset", action="append", default=None,
+                       help="microarch preset to test (repeatable; default Skylake)")
+    probe.add_argument("--bug", action="append", default=None, metavar="TYPE[:IDX]",
+                       help="bug to inject, e.g. Serialized:0; 'bug-free' for a "
+                            "clean design (repeatable; default bug-free)")
+    probe.set_defaults(func=_cmd_probe)
+
+    for name, func, help_text in (
+        ("ping", _cmd_ping, "health-check a daemon (version, uptime, stats)"),
+        ("stats", _cmd_stats, "print a daemon's serving statistics"),
+        ("shutdown", _cmd_shutdown, "ask a daemon to drain and exit"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--connect", required=True, help="daemon address as HOST:PORT")
+        sub.set_defaults(func=func)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -410,7 +410,7 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 3
+        assert report["schema_version"] == 4
         assert report["single"]["counter_equivalence_checked"]
         assert report["single"]["kernel"] == "scalar"
         assert report["single"]["aggregate_speedup"] > 1.0
@@ -426,6 +426,14 @@ class TestBenchHarness:
         )
         assert report["store"]["warm_store_hits"] == report["store"]["jobs"]
         assert report["store"]["cold_executed"] == report["store"]["jobs"]
+        # serve section (v4): warm passes served entirely from the overlay,
+        # latency columns present for the ratchet to track
+        serve = report["serve"]
+        assert serve["warm"]["executed"] == 0
+        assert serve["cold"]["executed"] > 0
+        assert serve["warm"]["p50_ms"] > 0
+        assert serve["warm"]["p99_ms"] >= serve["warm"]["p50_ms"]
+        assert serve["warm"]["verdicts_per_sec"] > 0
 
     def test_batch_speedup_column_readable_by_ratchet(self, tmp_path):
         import json
@@ -443,3 +451,19 @@ class TestBenchHarness:
         legacy = tmp_path / "legacy.json"
         legacy.write_text(json.dumps({"single": {"aggregate_speedup": 3.0}}))
         assert read_batch_speedup(legacy) is None
+
+    def test_serve_latency_column_readable_by_ratchet(self, tmp_path):
+        import json
+
+        from repro.bench.ratchet import read_serve_latency
+
+        report = {
+            "single": {"aggregate_speedup": 3.1},
+            "serve": {"warm": {"p50_ms": 6.0, "verdicts_per_sec": 150.5}},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert read_serve_latency(path) == (6.0, 150.5)
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"single": {"aggregate_speedup": 3.0}}))
+        assert read_serve_latency(legacy) is None
