@@ -32,13 +32,16 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The native kernel compiles its C source lazily at runtime, so the
+    # source must ship inside the installed package.
+    package_data={"repro.coresim.native": ["*.c"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={

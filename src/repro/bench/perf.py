@@ -35,6 +35,13 @@ against:
   looped through the scalar kernel.  Counter equivalence is asserted on
   every pair, the ``kernel`` column names what was measured, and the
   aggregate scalar/vector ratio is the headline the perf ratchet tracks.
+* ``native``   — single-thread throughput of the compiled C **native
+  kernel** (:mod:`repro.coresim.native`) versus the scalar kernel on the
+  standard probe workload, with the active compiler name/version recorded.
+  Counter equivalence is asserted on every timed pair and the aggregate
+  scalar/native ratio is gated (floor 2.0x) by the perf ratchet.  When no
+  compiler is available the section records ``available: false`` instead
+  of failing — the fallback path is the product behaviour being measured.
 
 ``--quick`` shrinks every dimension for CI smoke runs (roughly 15 s);
 the default sizing is calibrated for a laptop minute or two.
@@ -67,7 +74,10 @@ from ..workloads.isa import Opcode
 #:     ``kernel`` column on the single/batch rows.
 #: v4: new ``serve`` section (repro-serve daemon verdict latency: warm
 #:     p50/p99 ms and verdicts/sec over the socket protocol).
-SCHEMA_VERSION = 4
+#: v5: new ``native`` section (compiled C kernel vs scalar on the standard
+#:     probe workload, compiler name/version recorded; ``available: false``
+#:     when no compiler is found).
+SCHEMA_VERSION = 5
 
 #: Default output file, kept at the repo root by CI so the perf trajectory
 #: of the project lives beside the code that produced it.
@@ -231,6 +241,82 @@ def bench_batch(quick: bool) -> dict:
         "aggregate_speedup": round(total_scalar / total_vector, 3),
         "scalar_instr_per_sec": round(len(presets) * instructions / total_scalar),
         "vector_instr_per_sec": round(len(presets) * instructions / total_vector),
+        "counter_equivalence_checked": True,
+    }
+
+
+def bench_native(probes: Sequence[Probe], quick: bool) -> dict:
+    """Single-thread throughput: compiled native kernel vs scalar kernel.
+
+    Both sides run through :func:`repro.coresim.simulate_trace` with an
+    explicit ``kernel=`` so exactly the kernel dispatch users hit is what
+    gets timed.  The library build and the per-trace column marshalling are
+    primed outside the timed region (both are once-per-process/per-trace
+    costs every real workload amortises the same way).  Every timed pair is
+    asserted counter-bit-identical, so the reported speedup cannot come
+    from computing something different.
+    """
+    from ..coresim.native import compiler_info, native_available
+    from ..coresim.native.kernel import _native_trace_for
+
+    if not native_available():
+        return {
+            "kernel": "native",
+            "available": False,
+            "reason": "no usable C compiler or build failed "
+            "(see REPRO_NATIVE_CC in docs/PERFORMANCE.md)",
+        }
+    presets = QUICK_PRESETS if quick else STANDARD_PRESETS
+    repeats = 1 if quick else 3
+    instructions = sum(len(p.trace) for p in probes)
+    # prime the per-trace native column marshalling (memoised by digest)
+    for probe in probes:
+        _native_trace_for(probe.decoded)
+    per_preset = {}
+    total_scalar = 0.0
+    total_native = 0.0
+    for preset in presets:
+        config = core_microarch(preset)
+        scalar_best = native_best = float("inf")
+        for _ in range(repeats):
+            scalar_elapsed = native_elapsed = 0.0
+            for probe in probes:
+                decoded = probe.decoded
+                start = time.perf_counter()
+                scalar = simulate_trace(
+                    config, decoded, step_cycles=STEP_CYCLES, kernel="scalar"
+                )
+                scalar_elapsed += time.perf_counter() - start
+                start = time.perf_counter()
+                native = simulate_trace(
+                    config, decoded, step_cycles=STEP_CYCLES, kernel="native"
+                )
+                native_elapsed += time.perf_counter() - start
+                _assert_equivalent(scalar, native, f"native:{preset}/{probe.name}")
+            scalar_best = min(scalar_best, scalar_elapsed)
+            native_best = min(native_best, native_elapsed)
+        total_scalar += scalar_best
+        total_native += native_best
+        per_preset[preset] = {
+            "scalar_seconds": round(scalar_best, 4),
+            "native_seconds": round(native_best, 4),
+            "speedup": round(scalar_best / native_best, 3),
+            "native_instr_per_sec": round(instructions / native_best),
+        }
+    info = compiler_info() or {}
+    return {
+        "kernel": "native",
+        "available": True,
+        "compiler": {
+            "path": info.get("path"),
+            "version": info.get("version"),
+        },
+        "probes": len(probes),
+        "instructions_per_pass": instructions,
+        "presets": per_preset,
+        "aggregate_speedup": round(total_scalar / total_native, 3),
+        "scalar_instr_per_sec": round(len(presets) * instructions / total_scalar),
+        "native_instr_per_sec": round(len(presets) * instructions / total_native),
         "counter_equivalence_checked": True,
     }
 
@@ -428,6 +514,7 @@ def run_benchmarks(
         "benchmark": "simulation",
         "quick": quick,
         "single": bench_single(probes, quick),
+        "native": bench_native(probes, quick),
         "batch": bench_batch(quick),
         "engine": bench_engine(probes, jobs, quick, backend=backend),
         "store": bench_store(probes, quick),
@@ -485,6 +572,17 @@ def main(argv: list[str] | None = None) -> int:
         f"  single-thread: {single['aggregate_speedup']}x vs seed pipeline "
         f"({single['optimized_instr_per_sec']:,} instr/s, counter-equivalent)"
     )
+    native = report["native"]
+    if native.get("available"):
+        version = (native.get("compiler") or {}).get("version") or "unknown"
+        print(
+            f"  native: {native['aggregate_speedup']}x vs scalar kernel "
+            f"({native['native_instr_per_sec']:,} instr/s, counter-equivalent, "
+            f"{version})"
+        )
+    else:
+        print("  native: unavailable (no C compiler; scalar fallback measured "
+              "nothing)")
     print(
         f"  batch[vector@{batch['lanes']} lanes]: {batch['aggregate_speedup']}x "
         f"vs scalar sweeps ({batch['vector_instr_per_sec']:,} instr/s, "

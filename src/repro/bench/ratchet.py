@@ -7,6 +7,12 @@ floor into a **trajectory**: each CI run compares itself against the
 previous run's uploaded artifact and fails on regression beyond a noise
 tolerance.
 
+The schema-v5 ``native.aggregate_speedup`` column (compiled C kernel vs
+scalar) is gated the same way with its own static floor
+(:data:`NATIVE_FLOOR`) whenever the reports carry it — reports from
+compiler-less hosts record ``available: false`` and the native gate simply
+does not apply.  The ``batch`` and ``serve`` columns stay tracked-not-gated.
+
 CI runners (especially 1-vCPU ones) are noisy, so the gate is deliberately
 forgiving: the *current* measurement is the **median** of N ``repro-bench``
 runs (CI uses 3), and the regression threshold is
@@ -41,6 +47,12 @@ DEFAULT_TOLERANCE = 0.25
 #: workload targets ≥3x; ``--quick`` keeps headroom for runner noise).
 DEFAULT_FLOOR = 2.0
 
+#: Static floor for the native-kernel speedup (``native.aggregate_speedup``,
+#: compiled C vs scalar).  The kernel benches far above this on every host
+#: tried; the floor is the order-of-magnitude claim's backstop, kept at 2x
+#: for the same runner-noise headroom as the single-thread floor.
+NATIVE_FLOOR = 2.0
+
 
 def read_speedup(path: "str | Path") -> float:
     """The ``single.aggregate_speedup`` headline of one report file."""
@@ -63,6 +75,24 @@ def read_batch_speedup(path: "str | Path") -> "float | None":
     if not batch:
         return None
     return float(batch["aggregate_speedup"])
+
+
+def read_native_speedup(path: "str | Path") -> "float | None":
+    """The ``native.aggregate_speedup`` column, or None when absent.
+
+    Absent means a pre-v5 report *or* a host with no C compiler
+    (``native.available == false``) — in both cases the native gate simply
+    does not apply.  When the column is present it is **gated** (floor
+    :data:`NATIVE_FLOOR`, ratcheted against the previous artifact like the
+    single-thread headline): the compiled kernel is a headline perf claim,
+    and it is a pure single-thread CPU ratio, as stable as ``single``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    native = report.get("native")
+    if not native or not native.get("available"):
+        return None
+    return float(native["aggregate_speedup"])
 
 
 def read_serve_latency(path: "str | Path") -> "tuple[float, float] | None":
@@ -158,12 +188,17 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     speedups = []
+    natives = []
     batches = []
     serve_p50s = []
     serve_rates = []
     for path in args.reports:
         speedup = read_speedup(path)
         speedups.append(speedup)
+        native = read_native_speedup(path)
+        if native is not None:
+            natives.append(native)
+        native_note = f", native {native:g}x" if native is not None else ""
         batch = read_batch_speedup(path)
         if batch is not None:
             batches.append(batch)
@@ -174,7 +209,7 @@ def main(argv: "list[str] | None" = None) -> int:
             serve_p50s.append(serve[0])
             serve_rates.append(serve[1])
             serve_note = f", serve {serve[0]:g}ms p50"
-        print(f"  {path}: {speedup:g}x{batch_note}{serve_note}")
+        print(f"  {path}: {speedup:g}x{native_note}{batch_note}{serve_note}")
     if batches:
         print(
             f"  batch(vector) median {statistics.median(batches):g}x "
@@ -188,17 +223,31 @@ def main(argv: "list[str] | None" = None) -> int:
         )
 
     previous = None
+    prev_native = None
     if args.previous is not None:
         try:
             previous = read_speedup(args.previous)
             print(f"  previous artifact {args.previous}: {previous:g}x")
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"  previous artifact unusable ({exc}); using the static floor")
+        else:
+            try:
+                prev_native = read_native_speedup(args.previous)
+            except (ValueError, KeyError):
+                prev_native = None
 
     result = evaluate(
         speedups, previous, floor=args.floor, tolerance=args.tolerance
     )
     print(result.message)
+
+    native_result = None
+    if natives:
+        native_result = evaluate(
+            natives, prev_native, floor=NATIVE_FLOOR, tolerance=args.tolerance
+        )
+        print(f"  native kernel {native_result.message}")
+    ok = result.ok and (native_result is None or native_result.ok)
 
     if args.emit:
         # The report whose speedup lies closest to the gated median becomes
@@ -213,7 +262,7 @@ def main(argv: "list[str] | None" = None) -> int:
             shutil.copyfile(median_path, args.emit)
         print(f"  emitted median report {median_path} -> {args.emit}")
 
-    return 0 if result.ok else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry point

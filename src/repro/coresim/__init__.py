@@ -5,11 +5,13 @@ from .caches import Cache, CacheHierarchy
 from .counters import CounterTimeSeries, TimeSeriesSampler, derived_counters
 from .hooks import BUG_FREE, CoreBugModel, DispatchContext
 from .pipeline import O3Pipeline, PipelineError
+from .native import native_available, simulate_batch_native, supports_native
 from .simulator import (
     DEFAULT_STEP_CYCLES,
     KERNEL_ENV_VAR,
     KERNELS,
     SimulationResult,
+    choose_kernel,
     resolve_kernel,
     simulate_trace,
     simulate_trace_batch,
@@ -33,6 +35,10 @@ __all__ = [
     "simulate_trace_batch",
     "simulate_batch",
     "supports_vector",
+    "native_available",
+    "simulate_batch_native",
+    "supports_native",
+    "choose_kernel",
     "resolve_kernel",
     "DEFAULT_STEP_CYCLES",
     "KERNEL_ENV_VAR",

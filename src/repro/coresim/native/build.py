@@ -1,0 +1,217 @@
+"""Lazy build layer for the native simulation kernel.
+
+The C source (``_core.c``, shipped inside the package) is compiled on first
+use with whatever system compiler is discoverable — there is deliberately no
+numba/Cython/setuptools-build-time dependency.  The resulting shared library
+is cached under a per-user build directory keyed by
+``blake2b(source + flags + compiler + compiler version)``, so source edits,
+flag changes, and toolchain upgrades each get a fresh artifact while repeat
+runs pay nothing.
+
+Failure is never an exception here: no compiler, an unwritable cache
+directory, or a failed compile all degrade to ``None`` with a single
+``RuntimeWarning`` per process, and kernel resolution falls back to the
+scalar pipeline (see ``repro.coresim.simulator``).
+
+Environment knobs:
+
+``REPRO_NATIVE_CC``
+    Explicit compiler command or path.  An unusable value (missing binary)
+    disables the native kernel rather than falling back to discovery, which
+    makes forced-failure testing deterministic.
+``REPRO_NATIVE_CACHE``
+    Build-cache directory override (default:
+    ``$XDG_CACHE_HOME/repro/native`` or ``~/.cache/repro/native``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import warnings
+from pathlib import Path
+
+#: Compiler override environment variable (see module docstring).
+COMPILER_ENV_VAR = "REPRO_NATIVE_CC"
+
+#: Build-cache directory override environment variable.
+CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+
+#: Compilers probed on PATH, in preference order, when no override is set.
+COMPILER_CANDIDATES = ("gcc", "cc", "clang")
+
+#: Flags for the shared-library build.  Part of the cache key.
+CFLAGS = ("-O2", "-std=c99", "-fPIC", "-shared")
+
+SOURCE_PATH = Path(__file__).with_name("_core.c")
+
+_lib: "ctypes.CDLL | None" = None
+_lib_resolved = False
+_warned = False
+_compiler_info: "dict[str, str] | None | bool" = False  # False == not probed
+
+
+def _warn_once(reason: str) -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        f"repro native kernel unavailable ({reason}); "
+        "falling back to the scalar kernel",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def find_compiler() -> "str | None":
+    """Absolute path of the C compiler to use, or None."""
+    override = os.environ.get(COMPILER_ENV_VAR)
+    if override is not None:
+        override = override.strip()
+        if not override:
+            return None
+        resolved = shutil.which(override)
+        if resolved is not None:
+            return resolved
+        if os.path.isfile(override) and os.access(override, os.X_OK):
+            return override
+        return None
+    for name in COMPILER_CANDIDATES:
+        resolved = shutil.which(name)
+        if resolved is not None:
+            return resolved
+    return None
+
+
+def _compiler_version(compiler: str) -> str:
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    for line in (proc.stdout or proc.stderr or "").splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return "unknown"
+
+
+def compiler_info() -> "dict[str, str] | None":
+    """``{"path": ..., "version": ...}`` for the active compiler, or None.
+
+    Memoised; recorded into the schema-v5 ``native`` bench section so perf
+    numbers are attributable to a toolchain.
+    """
+    global _compiler_info
+    if _compiler_info is False:
+        compiler = find_compiler()
+        if compiler is None:
+            _compiler_info = None
+        else:
+            _compiler_info = {
+                "path": compiler,
+                "version": _compiler_version(compiler),
+            }
+    return _compiler_info  # type: ignore[return-value]
+
+
+def cache_dir() -> Path:
+    """The build-cache directory (not necessarily existing yet)."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return Path(base) / "repro" / "native"
+
+
+def library_path() -> "Path | None":
+    """Path of the compiled shared library, building it if needed.
+
+    Returns None (with a one-time warning) when no compiler is available or
+    the build fails for any reason.
+    """
+    info = compiler_info()
+    if info is None:
+        _warn_once("no usable C compiler (set $REPRO_NATIVE_CC or install gcc/cc)")
+        return None
+    compiler = info["path"]
+    try:
+        source = SOURCE_PATH.read_text(encoding="utf-8")
+    except OSError as exc:
+        _warn_once(f"cannot read {SOURCE_PATH.name}: {exc}")
+        return None
+    key = hashlib.blake2b(
+        "\x00".join([source, " ".join(CFLAGS), compiler, info["version"]]).encode(
+            "utf-8"
+        ),
+        digest_size=16,
+    ).hexdigest()
+    directory = cache_dir()
+    artifact = directory / f"repro_core_{key}.so"
+    if artifact.exists():
+        return artifact
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".repro_core_", suffix=".so", dir=str(directory)
+        )
+        os.close(fd)
+    except OSError as exc:
+        _warn_once(f"cannot create build cache under {directory}: {exc}")
+        return None
+    try:
+        proc = subprocess.run(
+            [compiler, *CFLAGS, str(SOURCE_PATH), "-o", tmp_path],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        os.unlink(tmp_path)
+        _warn_once(f"compiler invocation failed: {exc}")
+        return None
+    if proc.returncode != 0 or not os.path.getsize(tmp_path):
+        os.unlink(tmp_path)
+        detail = (proc.stderr or proc.stdout or "").strip().splitlines()
+        tail = detail[-1] if detail else f"exit status {proc.returncode}"
+        _warn_once(f"compilation failed: {tail}")
+        return None
+    os.replace(tmp_path, artifact)  # atomic vs concurrent builders
+    return artifact
+
+
+def load_library() -> "ctypes.CDLL | None":
+    """The compiled kernel library, or None when unavailable.  Memoised."""
+    global _lib, _lib_resolved
+    if _lib_resolved:
+        return _lib
+    _lib_resolved = True
+    path = library_path()
+    if path is None:
+        return None
+    try:
+        _lib = ctypes.CDLL(str(path))
+    except OSError as exc:
+        _warn_once(f"cannot load {path.name}: {exc}")
+        _lib = None
+    return _lib
+
+
+def _reset_for_tests() -> None:
+    """Drop all memoised build state (tests re-point env vars around this)."""
+    global _lib, _lib_resolved, _warned, _compiler_info
+    _lib = None
+    _lib_resolved = False
+    _warned = False
+    _compiler_info = False

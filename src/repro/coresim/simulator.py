@@ -5,18 +5,27 @@ experiments and the examples.  It wraps :class:`~repro.coresim.pipeline.O3Pipeli
 and packages the sampled counter time series plus whole-run aggregates into a
 :class:`SimulationResult`.
 
-Two counter-bit-identical kernels back it (see docs/PERFORMANCE.md):
+Three counter-bit-identical kernels back it (see docs/PERFORMANCE.md):
 
 * ``"scalar"`` — the per-trace :class:`O3Pipeline` cycle loop (the default);
 * ``"vector"`` — the numpy-batched lockstep kernel of
   :mod:`repro.coresim.vector`, which simulates many probes of the same
   design at once.  :func:`simulate_trace_batch` is its natural entry point;
   ``simulate_trace(..., kernel="vector")`` runs a batch of one.
+* ``"native"`` — the compiled C cycle loop of :mod:`repro.coresim.native`,
+  built lazily from the shipped source with whatever system compiler is
+  found.  When no compiler exists (or the build fails) it degrades to the
+  scalar kernel with a one-time warning, never an exception.
+
+``"auto"`` is a selection policy, not a fourth implementation: per request
+it picks the fastest eligible kernel (native when compiled and the bug model
+qualifies, else scalar — the vector kernel measured below parity on this
+class of host and is never auto-selected; see :func:`choose_kernel`).
 
 Kernel selection: the explicit ``kernel=`` argument wins, then the
 ``REPRO_KERNEL`` environment variable, then ``"scalar"``.  Bug models that
 override dynamic hooks always fall back to the scalar kernel regardless of
-the selection (the vector kernel cannot honour per-cycle hooks).
+the selection (the batched kernels cannot honour per-cycle hooks).
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ DEFAULT_STEP_CYCLES = 2048
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
 #: Kernel names understood by :func:`simulate_trace`.
-KERNELS = ("scalar", "vector")
+KERNELS = ("scalar", "vector", "native", "auto")
 
 
 def resolve_kernel(kernel: "str | None" = None) -> str:
@@ -52,6 +61,30 @@ def resolve_kernel(kernel: "str | None" = None) -> str:
     if kernel not in KERNELS:
         raise ValueError(f"unknown simulation kernel {kernel!r}; available: {KERNELS}")
     return kernel
+
+
+def choose_kernel(bug: "CoreBugModel | None" = None, lanes: int = 1) -> str:
+    """The ``"auto"`` policy: concrete kernel for *lanes* jobs of one *bug*.
+
+    Preference order is native > scalar > vector:
+
+    * **native** whenever the bug model is hook-free and the compiled
+      library is available — it wins at every lane count (≥2x single-thread
+      floor, benchmarked far above it on this host).
+    * **scalar** otherwise.  The numpy vector kernel is *never* auto-chosen:
+      its honest aggregate on the 1-vCPU reference host was 0.886x at 192
+      lanes (``BENCH_simulation.json`` ``batch``), so no *lanes* value makes
+      it the expected winner; it remains available by explicit request.
+
+    *lanes* is part of the policy signature so future kernels with
+    batch-size crossover points slot in without call-site changes.
+    """
+    del lanes  # no current kernel has a batch-size crossover
+    from .native import native_available, supports_native
+
+    if supports_native(bug) and native_available():
+        return "native"
+    return "scalar"
 
 
 @dataclass
@@ -107,11 +140,28 @@ def simulate_trace(
         Functionally warm caches and branch predictors before the timed run,
         compensating for the scaled-down probe length (see DESIGN.md §2).
     kernel:
-        ``"scalar"``, ``"vector"`` or ``None`` (use ``REPRO_KERNEL``, default
-        scalar).  Both kernels are counter-bit-identical; bug models that
-        override dynamic hooks silently use the scalar kernel.
+        ``"scalar"``, ``"vector"``, ``"native"``, ``"auto"`` or ``None``
+        (use ``REPRO_KERNEL``, default scalar).  All kernels are
+        counter-bit-identical; bug models that override dynamic hooks
+        silently use the scalar kernel, and a missing/unbuildable native
+        library degrades to scalar with a one-time warning.
     """
-    if resolve_kernel(kernel) == "vector":
+    resolved = resolve_kernel(kernel)
+    if resolved == "auto":
+        resolved = choose_kernel(bug, lanes=1)
+    if resolved == "native":
+        from .native import NativeKernelUnavailable, native_available, supports_native
+
+        if supports_native(bug) and native_available():
+            from .native import simulate_batch_native
+
+            try:
+                return simulate_batch_native(
+                    config, [trace], bug=bug, step_cycles=step_cycles, warmup=warmup
+                )[0]
+            except NativeKernelUnavailable:
+                pass  # config exceeds a kernel limit: scalar fallback
+    elif resolved == "vector":
         from .vector import simulate_batch, supports_vector
 
         if supports_vector(bug):
@@ -142,12 +192,33 @@ def simulate_trace_batch(
     """Simulate many probes of one design, batching when the kernel allows.
 
     With the ``vector`` kernel (and a vector-eligible bug model) all traces
-    advance in one numpy lockstep pass — the batched fast path the runtime's
-    same-config job grouping and ``repro-bench`` exercise.  Otherwise this
-    is exactly a loop over :func:`simulate_trace`.  Results are identical
-    either way, in input order.
+    advance in one numpy lockstep pass; with ``native`` (or ``auto``
+    resolving to it) each trace runs through the compiled C cycle loop —
+    the batched fast paths the runtime's same-config job grouping and
+    ``repro-bench`` exercise.  Otherwise this is exactly a loop over
+    :func:`simulate_trace`.  Results are identical every way, in input
+    order.
     """
-    if resolve_kernel(kernel) == "vector":
+    resolved = resolve_kernel(kernel)
+    if resolved == "auto":
+        resolved = choose_kernel(bug, lanes=len(traces))
+    if resolved == "native":
+        from .native import NativeKernelUnavailable, native_available, supports_native
+
+        if supports_native(bug) and native_available():
+            from .native import simulate_batch_native
+
+            try:
+                return simulate_batch_native(
+                    config,
+                    list(traces),
+                    bug=bug,
+                    step_cycles=step_cycles,
+                    warmup=warmup,
+                )
+            except NativeKernelUnavailable:
+                pass  # config exceeds a kernel limit: scalar fallback
+    elif resolved == "vector":
         from .vector import simulate_batch, supports_vector
 
         if supports_vector(bug):

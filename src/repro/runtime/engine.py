@@ -47,7 +47,7 @@ from .backends import (
     parse_backend,
     spec_for_jobs,
 )
-from .execution import _execute_unit, plan_batches, vector_group_key
+from .execution import GROUPING_KERNELS, _execute_unit, plan_batches, vector_group_key
 from .job import SimulationJob
 from .stats import EngineStats
 from .store import ResultStore, StoredResult
@@ -59,9 +59,9 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: keeps progress callbacks responsive on long batches).
 MAX_CHUNK_SIZE = 32
 
-#: Per-chunk ceiling when the vector kernel is active: chunks are the unit
-#: of batching inside workers, so same-config groups are kept much larger
-#: (job specs are small — traces ship separately by digest).
+#: Per-chunk ceiling when a batching kernel (vector/native/auto) is active:
+#: chunks are the unit of batching inside workers, so same-config groups are
+#: kept much larger (job specs are small — traces ship separately by digest).
 VECTOR_CHUNK_SIZE = 256
 
 #: Scheduling strategies understood by :class:`JobEngine`.
@@ -210,9 +210,10 @@ class JobEngine:
         self.chunk_size = chunk_size
         self.scheduler = scheduler
         #: Simulation kernel driving chunk planning (``None``: REPRO_KERNEL,
-        #: resolved per batch).  With the vector kernel, same-(config, bug,
-        #: step) jobs are planned into contiguous chunks so workers can run
-        #: them as lockstep batches.  Parallel-backend workers resolve the
+        #: resolved per batch).  With a batching kernel (vector, native or
+        #: auto), same-(config, bug, step) jobs are planned into contiguous
+        #: chunks so workers can run them as one batch unit apiece.
+        #: Parallel-backend workers resolve the
         #: kernel from *their* environment (the chunk wire format carries no
         #: kernel field), so an explicit argument is only honoured on inline
         #: backends — anything else is rejected here rather than silently
@@ -256,13 +257,13 @@ class JobEngine:
         pending: list[tuple[int, SimulationJob]],
         traces: Mapping,
     ) -> list[list[tuple[int, SimulationJob]]]:
-        """Chunk planning for the vector kernel: group, then split.
+        """Chunk planning for the batching kernels: group, then split.
 
         Jobs sharing a :func:`vector_group_key` are laid out contiguously —
         a chunk is the unit a worker batches, so scattering a sweep's jobs
-        across chunks would forfeit lockstep execution.  Groups are ordered
+        across chunks would forfeit batched execution.  Groups are ordered
         costliest-first (cost proxy as in LJF) and split only at the
-        vector chunk capacity; ungroupable jobs ride along in input order.
+        batch chunk capacity; ungroupable jobs ride along in input order.
         The plan is a deterministic function of the batch.
         """
         cap = self.chunk_size or VECTOR_CHUNK_SIZE
@@ -301,11 +302,12 @@ class JobEngine:
         ``ljf`` performs longest-processing-time binning: jobs sorted by
         descending cost go to the least-loaded chunk with room, and chunks
         are returned costliest-first so the heaviest work starts earliest.
-        Both plans are deterministic functions of the batch.  When the
-        vector kernel is selected, planning switches to
-        :meth:`_plan_chunks_grouped` so same-config sweeps stay batchable.
+        Both plans are deterministic functions of the batch.  When a
+        batching kernel (vector, native or auto) is selected, planning
+        switches to :meth:`_plan_chunks_grouped` so same-config sweeps stay
+        batchable.
         """
-        if resolve_kernel(self.kernel) == "vector":
+        if resolve_kernel(self.kernel) in GROUPING_KERNELS:
             return self._plan_chunks_grouped(pending, traces)
         chunk_size = self._pick_chunk_size(len(pending))
         if self.scheduler == "uniform":
@@ -395,12 +397,14 @@ class JobEngine:
                 done = total - len(pending) - len(duplicates)
                 job_of_index = dict(pending)
                 # Unit planning groups same-(config, bug, step) jobs into
-                # lockstep batches when the vector kernel is selected; with
+                # batch units when a batching kernel is selected; with
                 # the scalar kernel every unit is one job (seed behaviour).
                 for unit in plan_batches(pending, self.kernel):
                     try:
                         unit_results = _execute_unit(
-                            unit, {j.trace_id: traces[j.trace_id] for _, j in unit}
+                            unit,
+                            {j.trace_id: traces[j.trace_id] for _, j in unit},
+                            kernel=self.kernel,
                         )
                     except Exception as exc:
                         raise JobFailedError(

@@ -7,12 +7,12 @@ RNG state restored afterwards — no matter which
 is the single implementation all of them call, so serial, local-pool and
 remote execution cannot drift apart.
 
-When the ``vector`` simulation kernel is selected (``REPRO_KERNEL=vector``,
-see :mod:`repro.coresim.vector`), core-study jobs that share a
+When a batching kernel is selected (``vector``, ``native`` or ``auto`` —
+see :data:`GROUPING_KERNELS`), core-study jobs that share a
 (config, bug, step) — the shape every sweep produces — are grouped into
-lockstep batches by :func:`plan_batches` and executed through
+batch units by :func:`plan_batches` and executed through
 :func:`~repro.coresim.simulator.simulate_trace_batch`.  Results are
-bit-identical to per-job execution (the batched kernel is pinned
+bit-identical to per-job execution (every batched kernel is pinned
 counter-identical to the scalar one), so store keys and stored content do
 not depend on the kernel or the grouping.
 """
@@ -33,8 +33,14 @@ from .job import CORE_STUDY, MEMORY_STUDY, SimulationJob, bug_fingerprint, confi
 from .store import StoredResult
 
 
-def execute_job(job: SimulationJob, trace) -> StoredResult:
-    """Run one job to completion on *trace* (in-process or in a worker)."""
+def execute_job(
+    job: SimulationJob, trace, kernel: "str | None" = None
+) -> StoredResult:
+    """Run one job to completion on *trace* (in-process or in a worker).
+
+    *kernel* selects the core-study simulation kernel (``None`` defers to
+    ``REPRO_KERNEL``); memory-study jobs ignore it.
+    """
     # The simulators are deterministic, but seed the global RNGs from the
     # job identity anyway so any future stochastic component stays
     # reproducible and identical across serial/parallel execution.
@@ -46,7 +52,9 @@ def execute_job(job: SimulationJob, trace) -> StoredResult:
     try:
         if job.study == CORE_STUDY:
             return StoredResult.from_core(
-                simulate_trace(job.config, trace, bug=job.bug, step_cycles=job.step)
+                simulate_trace(
+                    job.config, trace, bug=job.bug, step_cycles=job.step, kernel=kernel
+                )
             )
         if job.study == MEMORY_STUDY:
             return StoredResult.from_memory(
@@ -77,12 +85,20 @@ class ChunkFailure:
 ChunkOutcome = "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]"
 
 
-def vector_group_key(job: SimulationJob) -> "tuple | None":
-    """Batching key for the vector kernel, or ``None`` if the job can't batch.
+#: Kernels whose selection makes :func:`plan_batches` group same-design jobs.
+#: ``auto`` is included because it may resolve to the native kernel, which
+#: amortises trace marshalling and parameter setup across a batch.
+GROUPING_KERNELS = frozenset({"vector", "native", "auto"})
 
-    Core-study jobs with a vector-eligible bug model group by
-    (config, bug, step) content; everything else (memory study,
-    hook-overriding bugs) executes singly on the scalar path.
+
+def vector_group_key(job: SimulationJob) -> "tuple | None":
+    """Batching key for the batched kernels, or ``None`` if the job can't batch.
+
+    Core-study jobs with a hook-free bug model group by (config, bug, step)
+    content; everything else (memory study, hook-overriding bugs) executes
+    singly on the scalar path.  Vector and native eligibility are the same
+    predicate (``supports_native`` delegates to ``supports_vector``), so one
+    key serves every batched kernel.
     """
     if job.study != CORE_STUDY or not supports_vector(job.bug):
         return None
@@ -95,13 +111,14 @@ def plan_batches(
     """Split *chunk* into execution units: singles, or same-group batches.
 
     With the scalar kernel every job is its own unit (exactly the historic
-    behaviour).  With the vector kernel, jobs sharing a
+    behaviour).  With a kernel in :data:`GROUPING_KERNELS`, jobs sharing a
     :func:`vector_group_key` merge into one unit, anchored at the position
-    of the group's first job, and execute as one lockstep batch.  Planning
+    of the group's first job, and execute as one
+    :func:`~repro.coresim.simulator.simulate_trace_batch` call.  Planning
     is a pure function of the chunk, so every backend produces the same
     units.
     """
-    if resolve_kernel(kernel) != "vector":
+    if resolve_kernel(kernel) not in GROUPING_KERNELS:
         return [[item] for item in chunk]
     units: list[list[tuple[int, SimulationJob]]] = []
     group_unit: dict[tuple, list[tuple[int, SimulationJob]]] = {}
@@ -121,12 +138,19 @@ def plan_batches(
 
 
 def _execute_unit(
-    unit: "list[tuple[int, SimulationJob]]", traces: Mapping
+    unit: "list[tuple[int, SimulationJob]]",
+    traces: Mapping,
+    kernel: "str | None" = None,
 ) -> "list[tuple[int, StoredResult]]":
-    """Execute one planned unit (a single job or a same-group batch)."""
+    """Execute one planned unit (a single job or a same-group batch).
+
+    *kernel* is the selection the unit was planned under (``None`` defers to
+    ``REPRO_KERNEL``); it is forwarded to the simulator so batches run on
+    the kernel that justified grouping them.
+    """
     if len(unit) == 1:
         index, job = unit[0]
-        return [(index, execute_job(job, traces[job.trace_id]))]
+        return [(index, execute_job(job, traces[job.trace_id], kernel=kernel))]
     first = unit[0][1]
     seed = first.seed()
     python_state = random.getstate()
@@ -139,7 +163,7 @@ def _execute_unit(
             [traces[job.trace_id] for _, job in unit],
             bug=first.bug,
             step_cycles=first.step,
-            kernel="vector",
+            kernel=kernel,
         )
     finally:
         random.setstate(python_state)
@@ -151,20 +175,22 @@ def _execute_unit(
 
 
 def run_chunk_items(
-    chunk: Sequence["tuple[int, SimulationJob]"], traces: Mapping
+    chunk: Sequence["tuple[int, SimulationJob]"],
+    traces: Mapping,
+    kernel: "str | None" = None,
 ) -> "tuple[list[tuple[int, StoredResult]], ChunkFailure | None]":
     """Execute every ``(index, job)`` in *chunk* against the *traces* table.
 
     Stops at the first failing unit, returning the results completed so far
     together with a :class:`ChunkFailure` carrying the formatted traceback
     (exceptions from user bug models may not survive pickling, so the
-    traceback ships as text).  A failure inside a vector batch is attributed
+    traceback ships as text).  A failure inside a batch unit is attributed
     to the batch's first job.
     """
     results: list[tuple[int, StoredResult]] = []
-    for unit in plan_batches(chunk):
+    for unit in plan_batches(chunk, kernel):
         try:
-            results.extend(_execute_unit(unit, traces))
+            results.extend(_execute_unit(unit, traces, kernel=kernel))
         except Exception:
             return results, ChunkFailure(unit[0][1].describe(), traceback.format_exc())
     return results, None

@@ -434,9 +434,10 @@ def main(argv: "list[str] | None" = None) -> int:
                      help="write the bound port to this file (for scripts/CI)")
     run.add_argument("--store", default=None,
                      help="persistent result store backing the warm path")
-    run.add_argument("--kernel", default=None, choices=["scalar", "vector"],
+    run.add_argument("--kernel", default=None,
+                     choices=["scalar", "vector", "native", "auto"],
                      help="simulation kernel for probe batches "
-                          "(default: REPRO_KERNEL)")
+                          "(default: REPRO_KERNEL, else auto)")
     run.set_defaults(func=_cmd_run)
 
     args = parser.parse_args(argv)

@@ -10,12 +10,14 @@ after the socket layer peels the frames off:
 * an in-memory result overlay plus an optional persistent
   :class:`~repro.runtime.ResultStore` — incoming probe jobs are deduped
   against both, so a repeated request never re-simulates,
-* the lockstep warm path: per request item, all store-missing probe jobs
+* the batched warm path: per request item, all store-missing probe jobs
   share one (config, bug, step) and are grouped by
-  :func:`~repro.runtime.execution.plan_batches` into a single lockstep
-  batch through :func:`~repro.coresim.simulator.simulate_trace_batch`
-  (when the vector kernel is selected; the scalar kernel executes the same
-  plan job-by-job, bit-identically).
+  :func:`~repro.runtime.execution.plan_batches` into a single batch unit
+  through :func:`~repro.coresim.simulator.simulate_trace_batch`.  Unless a
+  kernel was chosen explicitly (constructor argument or ``REPRO_KERNEL``),
+  the session defaults to ``"auto"``, so the compiled native kernel serves
+  the warm path whenever it is available; every kernel executes the same
+  plan bit-identically.
 
 Sessions are shared by every connection thread of the daemon.  Simulation
 and store mutation run under one lock (the simulators save/restore global
@@ -26,11 +28,13 @@ as they complete, so the server can stream them back immediately.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from ..coresim.simulator import KERNEL_ENV_VAR
 from ..runtime import ResultStore, SimulationJob, TraceRegistry
 from ..runtime.execution import _execute_unit, plan_batches
 from ..runtime.store import StoredResult
@@ -89,6 +93,11 @@ class ServingSession:
     ) -> None:
         self.model = model
         self.store = store
+        if kernel is None and not os.environ.get(KERNEL_ENV_VAR, "").strip():
+            # No explicit choice anywhere: let the auto policy pick the
+            # native kernel when it is compiled and eligible.  An explicit
+            # REPRO_KERNEL (even "scalar") is always honoured.
+            kernel = "auto"
         self.kernel = kernel
         self.stats = SessionStats()
         self._registry = TraceRegistry()
@@ -161,11 +170,13 @@ class ServingSession:
                 pending.append((index, job))
                 pending_names[index] = (probe_name, key)
             executed = len(pending)
-            # All of an item's misses share (config, bug, step), so with the
-            # vector kernel plan_batches folds them into one lockstep unit;
+            # All of an item's misses share (config, bug, step), so with a
+            # batching kernel plan_batches folds them into one batch unit;
             # with the scalar kernel the same plan runs job-by-job.
             for unit in plan_batches(pending, self.kernel):
-                for index, stored in _execute_unit(unit, self._registry.traces):
+                for index, stored in _execute_unit(
+                    unit, self._registry.traces, kernel=self.kernel
+                ):
                     probe_name, key = pending_names[index]
                     results[probe_name] = stored
                     self._persist(key, stored)
@@ -212,6 +223,7 @@ class ServingSession:
             "step_cycles": self.model.schema.step_cycles,
             "ml_engine": self.model.schema.ml_engine,
             "training_digest": self.model.provenance.get("training_digest"),
+            "kernel": self.kernel,
             "memory_entries": len(self._memory),
             "store_entries": len(self.store) if self.store is not None else None,
             "stats": self.stats.snapshot(),

@@ -2,9 +2,11 @@
 
 One digest per microarchitecture preset, computed from the **frozen seed
 pipeline** (``repro.coresim._reference``) on the deterministic golden trace
-below, bug-free.  ``tests/test_differential.py`` then checks both live
-kernels (scalar and vector) against these digests in seconds, so oracle
-drift is caught without ever executing the slow reference pipeline in CI.
+below, bug-free.  ``tests/test_differential.py`` then checks the live
+kernels (scalar, vector and native) against these digests in seconds, so
+oracle drift is caught without ever executing the slow reference pipeline
+in CI.  Before writing, this script verifies every live kernel against the
+freshly computed reference digests, so a drifted kernel cannot be pinned.
 
 Run this ONLY for a deliberate, reviewed change to simulation semantics::
 
@@ -49,9 +51,15 @@ def series_digest(result) -> str:
 
 
 def main() -> int:
+    from repro.coresim import native_available, simulate_trace
     from repro.coresim._reference import reference_simulate_trace
     from repro.uarch import all_core_microarches
 
+    kernels = ["scalar", "vector"]
+    if native_available():
+        kernels.append("native")
+    else:
+        print("WARNING: no C compiler found; native kernel NOT verified")
     trace = golden_trace()
     digests = {}
     for config in all_core_microarches():
@@ -59,6 +67,16 @@ def main() -> int:
             config, list(trace), step_cycles=STEP_CYCLES
         )
         digests[config.name] = series_digest(result)
+        # refuse to pin digests a live kernel cannot reproduce
+        for kernel in kernels:
+            live = series_digest(
+                simulate_trace(config, trace, step_cycles=STEP_CYCLES, kernel=kernel)
+            )
+            if live != digests[config.name]:
+                raise SystemExit(
+                    f"{config.name}: {kernel} kernel diverges from the "
+                    f"reference (got {live}); fix the kernel before pinning"
+                )
         print(f"{config.name:14s} {digests[config.name]}")
     payload = {
         "comment": (
@@ -68,6 +86,7 @@ def main() -> int:
         ),
         "step_cycles": STEP_CYCLES,
         "trace_length": TRACE_LENGTH,
+        "kernels_verified": kernels,
         "digests": dict(sorted(digests.items())),
     }
     out = Path(__file__).parent / "golden_series.json"

@@ -1,9 +1,10 @@
 """Differential-testing oracle for the simulation kernels.
 
-Three implementations of the core model must agree bit-for-bit on every
+Four implementations of the core model must agree bit-for-bit on every
 sampled counter: the frozen seed pipeline (``coresim/_reference``), the
-optimized scalar pipeline (PR 2) and the numpy-batched lockstep vector
-kernel (``coresim/vector``).  This suite grows the hand-picked equivalence
+optimized scalar pipeline (PR 2), the numpy-batched lockstep vector
+kernel (``coresim/vector``) and the compiled C native kernel
+(``coresim/native``).  This suite grows the hand-picked equivalence
 matrix of ``test_perf_equivalence.py`` into a *generator*: seeded random
 (synthetic trace, preset mutation, bug x severity) triples hammer the
 corners no hand-written case covers.
@@ -44,9 +45,12 @@ from repro.bugs.core_bugs import (
 from repro.bugs.registry import core_bug_suite
 from repro.coresim import (
     KERNELS,
+    choose_kernel,
+    native_available,
     resolve_kernel,
     simulate_trace,
     simulate_trace_batch,
+    supports_native,
     supports_vector,
 )
 from repro.coresim._reference import reference_simulate_trace
@@ -226,7 +230,7 @@ def _fuzz_cases():
 
 
 class TestDifferentialFuzz:
-    """reference == scalar == vector over seeded random triples."""
+    """reference == scalar == vector == native over seeded random triples."""
 
     def test_seed_is_reported(self, capsys):
         print(f"[differential] REPRO_FUZZ_SEED={FUZZ_SEED}")
@@ -244,6 +248,13 @@ class TestDifferentialFuzz:
             config, traces, bug=bug, step_cycles=step, warmup=warmup,
             kernel="vector",
         )
+        # kernel="native" always runs: ineligible bugs (and compiler-less
+        # hosts) fall back to scalar, so the comparison stays meaningful —
+        # on eligible cases it exercises the compiled C loop end to end.
+        native_results = simulate_trace_batch(
+            config, traces, bug=bug, step_cycles=step, warmup=warmup,
+            kernel="native",
+        )
         for lane, trace in enumerate(traces):
             scalar = simulate_trace(
                 config, trace, bug=bug, step_cycles=step, warmup=warmup,
@@ -255,6 +266,9 @@ class TestDifferentialFuzz:
             _assert_identical(reference, scalar, f"{context} lane={lane} ref-vs-scalar")
             _assert_identical(
                 scalar, vector_results[lane], f"{context} lane={lane} scalar-vs-vector"
+            )
+            _assert_identical(
+                scalar, native_results[lane], f"{context} lane={lane} scalar-vs-native"
             )
 
     def test_case_count_meets_floor(self):
@@ -279,12 +293,25 @@ class TestVectorKernel:
     def test_kernel_resolution(self, monkeypatch):
         assert resolve_kernel(None) == "scalar"
         assert resolve_kernel("vector") == "vector"
+        assert resolve_kernel("native") == "native"
+        assert resolve_kernel("auto") == "auto"
         monkeypatch.setenv("REPRO_KERNEL", "vector")
         assert resolve_kernel(None) == "vector"
         assert resolve_kernel("scalar") == "scalar"
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        assert resolve_kernel(None) == "native"
         with pytest.raises(ValueError):
             resolve_kernel("simd")
-        assert set(KERNELS) == {"scalar", "vector"}
+        assert set(KERNELS) == {"scalar", "vector", "native", "auto"}
+
+    def test_auto_policy_never_picks_vector(self):
+        """auto resolves to native (eligible + built) or scalar, never vector."""
+        for bug in (None, RegisterReduction(8), SerializeOpcode(Opcode.XOR)):
+            for lanes in (1, 8, 192):
+                picked = choose_kernel(bug, lanes=lanes)
+                assert picked in ("native", "scalar")
+                if not (supports_native(bug) and native_available()):
+                    assert picked == "scalar"
 
     def test_hook_bug_falls_back_to_scalar(self, monkeypatch):
         """kernel=vector with an ineligible bug must still be exact."""
@@ -392,6 +419,20 @@ class TestGoldenDigests:
                 f"{config.name}: vector kernel drifted from the pinned oracle"
             )
 
+    def test_native_kernel_matches_golden(self, golden, make_golden):
+        if not native_available():
+            pytest.skip("no C compiler on this host (scalar fallback covered "
+                        "by test_native_kernel.py)")
+        trace = make_golden.golden_trace()
+        for config in all_core_microarches():
+            result = simulate_trace(
+                config, trace, step_cycles=make_golden.STEP_CYCLES, kernel="native"
+            )
+            digest = make_golden.series_digest(result)
+            assert digest == golden["digests"][config.name], (
+                f"{config.name}: native kernel drifted from the pinned oracle"
+            )
+
 
 # ---------------------------------------------------------------------------
 # Cross-kernel engine/store contract
@@ -460,6 +501,51 @@ class TestCrossKernelEngine:
         jobs = _engine_jobs(registry, ids)
         store = ResultStore(tmp_path / "store")
         monkeypatch.setenv("REPRO_KERNEL", "vector")
+        JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        replayer = JobEngine(jobs=1, store=store)
+        replayer.run(jobs, registry.traces)
+        assert replayer.stats.executed == 0
+
+    def test_native_engine_results_match_scalar(self, synthetic_registry, monkeypatch):
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        scalar = JobEngine(jobs=1).run(jobs, registry.traces)
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        native = JobEngine(jobs=1).run(jobs, registry.traces)
+        for a, b in zip(scalar, native):
+            assert a.cycles == b.cycles
+            assert set(a.counters) == set(b.counters)
+            for name in a.counters:
+                assert np.array_equal(a.counters[name], b.counters[name]), name
+
+    def test_scalar_store_replays_under_native(
+        self, synthetic_registry, tmp_path, monkeypatch
+    ):
+        """Store keys stay kernel-independent for the native kernel too: a
+        scalar-filled store serves a REPRO_KERNEL=native run with executed=0,
+        and the native-filled store replays under scalar the same way."""
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        filler = JobEngine(jobs=1, store=store)
+        filler.run(jobs, registry.traces)
+        assert filler.stats.executed == len(jobs)
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        replayer = JobEngine(jobs=1, store=store)
+        replayer.run(jobs, registry.traces)
+        assert replayer.stats.executed == 0
+        assert replayer.stats.store_hits == len(jobs)
+
+    def test_native_store_replays_under_scalar(
+        self, synthetic_registry, tmp_path, monkeypatch
+    ):
+        registry, ids = synthetic_registry
+        jobs = _engine_jobs(registry, ids)
+        store = ResultStore(tmp_path / "store")
+        monkeypatch.setenv("REPRO_KERNEL", "native")
         JobEngine(jobs=1, store=store).run(jobs, registry.traces)
         monkeypatch.delenv("REPRO_KERNEL", raising=False)
         replayer = JobEngine(jobs=1, store=store)

@@ -410,10 +410,21 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert report["single"]["counter_equivalence_checked"]
         assert report["single"]["kernel"] == "scalar"
         assert report["single"]["aggregate_speedup"] > 1.0
+        # native section (v5): equivalence-gated compiled-kernel ratio with
+        # compiler provenance, or an explicit available=false marker
+        native = report["native"]
+        assert native["kernel"] == "native"
+        if native["available"]:
+            assert native["counter_equivalence_checked"]
+            assert native["aggregate_speedup"] > 0.0
+            assert native["compiler"]["path"]
+            assert native["compiler"]["version"]
+        else:
+            assert native["reason"]
         assert report["batch"]["kernel"] == "vector"
         assert report["batch"]["counter_equivalence_checked"]
         assert report["batch"]["aggregate_speedup"] > 0.0
@@ -451,6 +462,32 @@ class TestBenchHarness:
         legacy = tmp_path / "legacy.json"
         legacy.write_text(json.dumps({"single": {"aggregate_speedup": 3.0}}))
         assert read_batch_speedup(legacy) is None
+
+    def test_native_speedup_column_readable_and_gated_by_ratchet(self, tmp_path):
+        import json
+
+        from repro.bench.ratchet import NATIVE_FLOOR, evaluate, read_native_speedup
+
+        report = {
+            "single": {"aggregate_speedup": 3.1},
+            "native": {"available": True, "aggregate_speedup": 9.5},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert read_native_speedup(path) == 9.5
+        # compiler-less host: available=false means the gate does not apply
+        nocc = tmp_path / "nocc.json"
+        nocc.write_text(json.dumps({
+            "single": {"aggregate_speedup": 3.0},
+            "native": {"available": False, "reason": "no compiler"},
+        }))
+        assert read_native_speedup(nocc) is None
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"single": {"aggregate_speedup": 3.0}}))
+        assert read_native_speedup(legacy) is None
+        # the gate itself: floor 2.0, ratcheted like the single headline
+        assert evaluate([9.5], None, floor=NATIVE_FLOOR).ok
+        assert not evaluate([1.5], None, floor=NATIVE_FLOOR).ok
 
     def test_serve_latency_column_readable_by_ratchet(self, tmp_path):
         import json
