@@ -25,14 +25,18 @@
 * ``repro-client`` — the daemon's client
   (``python -m repro.serve.client``: ``probe``, ``ping``, ``stats``,
   ``shutdown``), including the ``--offline`` reference scoring path CI
-  diffs the daemon against.
+  diffs the daemon against;
+* ``repro-lint`` — static contract analysis
+  (``python -m repro.analysis``): checks the three-kernel counter-name
+  universe, determinism lints, hook-override eligibility, protocol
+  constants and the native ``-Werror`` gate (see ``docs/ANALYSIS.md``).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"
@@ -53,6 +57,7 @@ setup(
             "repro-store=repro.runtime.store_cli:main",
             "repro-serve=repro.serve.server:main",
             "repro-client=repro.serve.client:main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
 )

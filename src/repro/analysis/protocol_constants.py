@@ -1,0 +1,127 @@
+"""Protocol-constant lint (rule family 4): single-definition wire constants.
+
+The serving daemon, the remote execution backend and the bench schema all
+interoperate across process (and potentially host) boundaries.  Their wire
+constants therefore have exactly one home each:
+
+* ``PROTOCOL_VERSION`` and ``MAX_FRAME_BYTES`` — ``runtime/framing.py``
+* the frame-header layout ``">Q"`` — ``runtime/framing.py``
+* ``SCHEMA_VERSION`` — ``bench/perf.py``
+
+Every other module must *import* them.  A second literal definition would
+let the two sides of a connection (or a result written last month and a
+reader today) silently disagree about the protocol they speak — the exact
+class of skew this lint makes structurally impossible.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .tree import ANALYSIS_ROOT, SourceTree
+
+RULE = "protocol-constant"
+
+#: constant name -> (canonical repo path, canonical module tail for imports)
+CANONICAL = {
+    "PROTOCOL_VERSION": ("src/repro/runtime/framing.py", "framing"),
+    "MAX_FRAME_BYTES": ("src/repro/runtime/framing.py", "framing"),
+    "SCHEMA_VERSION": ("src/repro/bench/perf.py", "perf"),
+}
+
+FRAMING_PATH = "src/repro/runtime/framing.py"
+
+#: The length-prefix header layout.  Appearing anywhere else means a second
+#: hand-rolled framing implementation.
+FRAME_HEADER_FORMAT = ">Q"
+
+
+def _fail(path: str, line: int, message: str) -> Finding:
+    return Finding(RULE, path, line, message)
+
+
+def _is_int_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True
+    if isinstance(node, ast.BinOp):
+        return _is_int_literal(node.left) and _is_int_literal(node.right)
+    return False
+
+
+def check(tree: SourceTree) -> "list[Finding]":
+    findings: list[Finding] = []
+    defined_at_home: dict[str, bool] = {name: False for name in CANONICAL}
+
+    for path in tree.python_files():
+        if path.startswith(ANALYSIS_ROOT):
+            continue  # the lint's own pattern tables are not protocol users
+        module = tree.parse(path)
+        for node in ast.walk(module):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name) or target.id not in CANONICAL:
+                        continue
+                    home, _module_tail = CANONICAL[target.id]
+                    if path == home:
+                        if _is_int_literal(node.value):
+                            defined_at_home[target.id] = True
+                        else:
+                            findings.append(
+                                _fail(
+                                    path,
+                                    node.lineno,
+                                    f"{target.id} must be a literal integer in "
+                                    "its canonical module",
+                                )
+                            )
+                    else:
+                        findings.append(
+                            _fail(
+                                path,
+                                node.lineno,
+                                f"{target.id} redefined outside its canonical "
+                                f"home {home} — import it instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module_tail = (node.module or "").rsplit(".", 1)[-1]
+                for alias in node.names:
+                    if alias.name in CANONICAL:
+                        _home, expected_tail = CANONICAL[alias.name]
+                        if module_tail != expected_tail:
+                            findings.append(
+                                _fail(
+                                    path,
+                                    node.lineno,
+                                    f"{alias.name} imported from "
+                                    f"{node.module or '.'} instead of its "
+                                    f"canonical module ({expected_tail})",
+                                )
+                            )
+            elif (
+                isinstance(node, ast.Constant)
+                and node.value == FRAME_HEADER_FORMAT
+                and path != FRAMING_PATH
+            ):
+                findings.append(
+                    _fail(
+                        path,
+                        node.lineno,
+                        f"frame-header format {FRAME_HEADER_FORMAT!r} outside "
+                        "runtime/framing.py — use read_frame/write_frame "
+                        "instead of hand-rolling framing",
+                    )
+                )
+
+    for name, seen in sorted(defined_at_home.items()):
+        if not seen:
+            home, _tail = CANONICAL[name]
+            findings.append(
+                _fail(
+                    home,
+                    0,
+                    f"canonical definition of {name} not found in {home}",
+                )
+            )
+    return findings

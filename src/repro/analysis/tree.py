@@ -1,0 +1,70 @@
+"""Source-tree access layer shared by every lint rule.
+
+Rules never touch the filesystem directly: they read files through a
+:class:`SourceTree`, which resolves repository-relative paths, caches parsed
+ASTs, and supports an in-memory *overlay* so tests can lint a mutated copy
+of a file (e.g. a counter name changed in exactly one kernel lane) without
+copying the repository.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+#: Repository-relative package root every rule scans.
+PACKAGE_ROOT = "src/repro"
+
+#: Sub-path of the analysis package itself (skipped by rules whose own
+#: implementation would otherwise self-trigger, e.g. name-pattern scans).
+ANALYSIS_ROOT = "src/repro/analysis"
+
+
+class SourceTree:
+    """Read-only view of the repository used by the lint rules."""
+
+    def __init__(self, root: Path, overlay: "dict[str, str] | None" = None) -> None:
+        self.root = Path(root)
+        #: repo-relative path -> replacement text (tests mutate files here).
+        self.overlay = dict(overlay or {})
+        self._text: dict[str, str] = {}
+        self._ast: dict[str, ast.Module] = {}
+
+    def exists(self, rel_path: str) -> bool:
+        return rel_path in self.overlay or (self.root / rel_path).is_file()
+
+    def read(self, rel_path: str) -> str:
+        """The text of *rel_path* (overlay first), cached."""
+        cached = self._text.get(rel_path)
+        if cached is not None:
+            return cached
+        if rel_path in self.overlay:
+            text = self.overlay[rel_path]
+        else:
+            text = (self.root / rel_path).read_text(encoding="utf-8")
+        self._text[rel_path] = text
+        return text
+
+    def parse(self, rel_path: str) -> ast.Module:
+        """The parsed AST of *rel_path*, cached."""
+        cached = self._ast.get(rel_path)
+        if cached is None:
+            cached = ast.parse(self.read(rel_path), filename=rel_path)
+            self._ast[rel_path] = cached
+        return cached
+
+    def python_files(self, package_root: str = PACKAGE_ROOT) -> "list[str]":
+        """Sorted repo-relative paths of every ``.py`` file under the root.
+
+        Overlay-only paths (files that exist purely in memory) are included
+        so fixture tests can lint synthetic modules.
+        """
+        paths = {
+            str(path.relative_to(self.root))
+            for path in (self.root / package_root).rglob("*.py")
+            if path.is_file()
+        }
+        paths.update(
+            rel for rel in self.overlay if rel.startswith(package_root) and rel.endswith(".py")
+        )
+        return sorted(paths)

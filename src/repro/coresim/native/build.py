@@ -22,6 +22,15 @@ Environment knobs:
 ``REPRO_NATIVE_CACHE``
     Build-cache directory override (default:
     ``$XDG_CACHE_HOME/repro/native`` or ``~/.cache/repro/native``).
+``REPRO_NATIVE_SANITIZE``
+    Sanitizer mode for the native build.  ``1``/``on`` selects
+    ``address,undefined``; any other non-empty value is passed through as the
+    ``-fsanitize=`` argument.  Sanitized builds get their own cache artifact
+    (the flags are part of the cache key) and force **serial** execution —
+    ASan's shadow memory and interceptors are not worth multiplying across a
+    process pool, and failures are easiest to read from a single process.
+    Running Python against an ASan'd shared library additionally requires
+    preloading the sanitizer runtime (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -41,11 +50,20 @@ COMPILER_ENV_VAR = "REPRO_NATIVE_CC"
 #: Build-cache directory override environment variable.
 CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
 
+#: Sanitizer mode environment variable (see module docstring).
+SANITIZE_ENV_VAR = "REPRO_NATIVE_SANITIZE"
+
 #: Compilers probed on PATH, in preference order, when no override is set.
 COMPILER_CANDIDATES = ("gcc", "cc", "clang")
 
 #: Flags for the shared-library build.  Part of the cache key.
 CFLAGS = ("-O2", "-std=c99", "-fPIC", "-shared")
+
+#: Warning gate flags: the C source must stay warning-clean under these.
+#: Checked by ``werror_check`` (wired into repro-lint and CI), not by the
+#: regular build — a user's exotic toolchain must not lose the kernel over
+#: a new warning.
+WERROR_FLAGS = ("-Wall", "-Wextra", "-Werror")
 
 SOURCE_PATH = Path(__file__).with_name("_core.c")
 
@@ -66,6 +84,25 @@ def _warn_once(reason: str) -> None:
         RuntimeWarning,
         stacklevel=3,
     )
+
+
+def sanitize_mode() -> "str | None":
+    """The active ``-fsanitize=`` argument, or None when sanitizers are off."""
+    raw = os.environ.get(SANITIZE_ENV_VAR, "").strip().lower()
+    if raw in ("", "0", "off", "no", "false"):
+        return None
+    if raw in ("1", "on", "yes", "true"):
+        return "address,undefined"
+    return raw
+
+
+def active_cflags() -> "tuple[str, ...]":
+    """Build flags for the current mode.  Part of the cache key, so the
+    sanitized artifact never collides with the regular one."""
+    mode = sanitize_mode()
+    if mode is None:
+        return CFLAGS
+    return CFLAGS + (f"-fsanitize={mode}", "-fno-omit-frame-pointer", "-g")
 
 
 def find_compiler() -> "str | None":
@@ -151,8 +188,9 @@ def library_path() -> "Path | None":
     except OSError as exc:
         _warn_once(f"cannot read {SOURCE_PATH.name}: {exc}")
         return None
+    cflags = active_cflags()
     key = hashlib.blake2b(
-        "\x00".join([source, " ".join(CFLAGS), compiler, info["version"]]).encode(
+        "\x00".join([source, " ".join(cflags), compiler, info["version"]]).encode(
             "utf-8"
         ),
         digest_size=16,
@@ -172,7 +210,7 @@ def library_path() -> "Path | None":
         return None
     try:
         proc = subprocess.run(
-            [compiler, *CFLAGS, str(SOURCE_PATH), "-o", tmp_path],
+            [compiler, *cflags, str(SOURCE_PATH), "-o", tmp_path],
             capture_output=True,
             text=True,
             timeout=300,
@@ -189,6 +227,83 @@ def library_path() -> "Path | None":
         return None
     os.replace(tmp_path, artifact)  # atomic vs concurrent builders
     return artifact
+
+
+def werror_check(source_text: "str | None" = None) -> "tuple[bool | None, str]":
+    """Syntax-check the kernel source under ``-Wall -Wextra -Werror``.
+
+    Returns ``(ok, diagnostics)``.  ``ok`` is ``None`` when no compiler is
+    available (callers — repro-lint's native gate and CI — skip cleanly).
+    This is a pure front-end pass (``-fsyntax-only``): no artifact is
+    produced and the build cache is untouched.
+    """
+    info = compiler_info()
+    if info is None:
+        return None, "no usable C compiler"
+    if source_text is None:
+        try:
+            source_text = SOURCE_PATH.read_text(encoding="utf-8")
+        except OSError as exc:
+            return False, f"cannot read {SOURCE_PATH.name}: {exc}"
+    fd, tmp_path = tempfile.mkstemp(prefix=".repro_werror_", suffix=".c")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(source_text)
+        proc = subprocess.run(
+            [
+                info["path"],
+                "-std=c99",
+                *WERROR_FLAGS,
+                "-fsyntax-only",
+                tmp_path,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return False, f"compiler invocation failed: {exc}"
+    finally:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+    diagnostics = (proc.stderr or proc.stdout or "").strip()
+    return proc.returncode == 0, diagnostics
+
+
+def sanitizer_preload() -> "list[str]":
+    """Sanitizer runtime libraries that must be LD_PRELOADed into Python.
+
+    A sanitized ``_core.so`` references ASan/UBSan runtime symbols that the
+    python binary was not linked against; preloading the runtimes satisfies
+    them.  Returns an empty list when sanitizers are off or the paths cannot
+    be resolved (the caller decides whether that is fatal).
+    """
+    mode = sanitize_mode()
+    info = compiler_info()
+    if mode is None or info is None:
+        return []
+    libraries = []
+    wanted = []
+    if "address" in mode:
+        wanted.append("libasan.so")
+    if "undefined" in mode:
+        wanted.append("libubsan.so")
+    for name in wanted:
+        try:
+            proc = subprocess.run(
+                [info["path"], f"-print-file-name={name}"],
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        path = (proc.stdout or "").strip()
+        if path and path != name and os.path.exists(path):
+            libraries.append(path)
+    return libraries
 
 
 def load_library() -> "ctypes.CDLL | None":

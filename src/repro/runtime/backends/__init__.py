@@ -25,11 +25,12 @@ the worker wire protocol are documented in ``docs/RUNTIME.md``.
 from __future__ import annotations
 
 import os
+import warnings
 
 from .base import BACKEND_ENV_VAR, BackendError, ExecutionBackend
 from .local import LocalBackend
+from ..framing import PROTOCOL_VERSION
 from .remote import (
-    PROTOCOL_VERSION,
     ProtocolError,
     RemoteBackend,
     local_worker_command,
@@ -105,6 +106,18 @@ def parse_backend(spec: "str | ExecutionBackend") -> ExecutionBackend:
         raise TypeError(f"backend spec must be a string, got {type(spec).__name__}")
     text = spec.strip()
     if text == "serial":
+        return SerialBackend()
+    # Sanitized native builds are serial-only: ASan shadow memory per pool
+    # worker is wasteful and interleaved sanitizer reports are unreadable.
+    from ...coresim.native.build import sanitize_mode
+
+    if sanitize_mode() is not None:
+        warnings.warn(
+            f"REPRO_NATIVE_SANITIZE is set: forcing the serial backend "
+            f"(requested {text!r})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return SerialBackend()
     if text == "local" or text.startswith("local:"):
         _, _, body = text.partition(":")

@@ -451,7 +451,7 @@ class JobEngine:
                 # known and receive empty deltas.
                 delta = {
                     tid: batch_traces[tid]
-                    for tid in {job.trace_id for _, job in chunk}
+                    for tid in sorted({job.trace_id for _, job in chunk})
                     if tid not in known_ids
                 }
                 self.stats.trace_deltas += len(delta)

@@ -45,10 +45,11 @@ def execute_job(
     # job identity anyway so any future stochastic component stays
     # reproducible and identical across serial/parallel execution.
     seed = job.seed()
+    # repro: allow(global-rng): sanctioned save/seed site pinning the streams
     python_state = random.getstate()
-    numpy_state = np.random.get_state()
-    random.seed(seed)
-    np.random.seed(seed % 2**32)
+    numpy_state = np.random.get_state()  # repro: allow(global-rng): see above
+    random.seed(seed)  # repro: allow(global-rng): see above
+    np.random.seed(seed % 2**32)  # repro: allow(global-rng): see above
     try:
         if job.study == CORE_STUDY:
             return StoredResult.from_core(
@@ -66,8 +67,9 @@ def execute_job(
     finally:
         # Leave the caller's RNG streams untouched (matters for the serial
         # in-process path, where experiments draw from these RNGs too).
+        # repro: allow(global-rng): sanctioned restore of the saved streams
         random.setstate(python_state)
-        np.random.set_state(numpy_state)
+        np.random.set_state(numpy_state)  # repro: allow(global-rng): see above
 
 
 @dataclass
@@ -153,10 +155,11 @@ def _execute_unit(
         return [(index, execute_job(job, traces[job.trace_id], kernel=kernel))]
     first = unit[0][1]
     seed = first.seed()
+    # repro: allow(global-rng): sanctioned save/seed site — mirrors execute_job
     python_state = random.getstate()
-    numpy_state = np.random.get_state()
-    random.seed(seed)
-    np.random.seed(seed % 2**32)
+    numpy_state = np.random.get_state()  # repro: allow(global-rng): see above
+    random.seed(seed)  # repro: allow(global-rng): see above
+    np.random.seed(seed % 2**32)  # repro: allow(global-rng): see above
     try:
         results = simulate_trace_batch(
             first.config,
@@ -166,8 +169,9 @@ def _execute_unit(
             kernel=kernel,
         )
     finally:
+        # repro: allow(global-rng): sanctioned restore of the saved streams
         random.setstate(python_state)
-        np.random.set_state(numpy_state)
+        np.random.set_state(numpy_state)  # repro: allow(global-rng): see above
     return [
         (index, StoredResult.from_core(result))
         for (index, _job), result in zip(unit, results)

@@ -1,4 +1,17 @@
-"""Regenerate the pinned golden counter-series digests (golden_series.json).
+"""Regenerate the pinned golden artifacts.
+
+Two files are produced:
+
+``golden_series.json``
+    Pinned counter-series digests of the frozen seed pipeline.
+
+``counter_manifest.json``
+    The authoritative **counter-name universe** per kernel: the union, over
+    every microarchitecture preset, of the counter names each kernel
+    actually sampled on the golden trace.  ``repro-lint``'s counter-contract
+    checker compares this observed universe against the statically extracted
+    emission sites, closing the loop between what the code *says* it counts
+    and what a run *actually* produced.
 
 One digest per microarchitecture preset, computed from the **frozen seed
 pipeline** (``repro.coresim._reference``) on the deterministic golden trace
@@ -62,16 +75,20 @@ def main() -> int:
         print("WARNING: no C compiler found; native kernel NOT verified")
     trace = golden_trace()
     digests = {}
+    observed: "dict[str, set]" = {name: set() for name in ["reference", *kernels]}
     for config in all_core_microarches():
         result = reference_simulate_trace(
             config, list(trace), step_cycles=STEP_CYCLES
         )
         digests[config.name] = series_digest(result)
+        observed["reference"].update(result.series.counters)
         # refuse to pin digests a live kernel cannot reproduce
         for kernel in kernels:
-            live = series_digest(
-                simulate_trace(config, trace, step_cycles=STEP_CYCLES, kernel=kernel)
+            live_result = simulate_trace(
+                config, trace, step_cycles=STEP_CYCLES, kernel=kernel
             )
+            observed[kernel].update(live_result.series.counters)
+            live = series_digest(live_result)
             if live != digests[config.name]:
                 raise SystemExit(
                     f"{config.name}: {kernel} kernel diverges from the "
@@ -94,6 +111,22 @@ def main() -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {out}")
+
+    manifest = {
+        "comment": (
+            "Observed counter-name universe per kernel (union over every "
+            "preset, bug-free golden trace). Consumed by repro-lint's "
+            "counter-contract checker. Regenerate via make_golden.py."
+        ),
+        "step_cycles": STEP_CYCLES,
+        "trace_length": TRACE_LENGTH,
+        "kernels": {name: sorted(names) for name, names in observed.items()},
+    }
+    manifest_out = Path(__file__).parent / "counter_manifest.json"
+    with open(manifest_out, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {manifest_out}")
     return 0
 
 
