@@ -17,7 +17,13 @@
   stdio frame protocol for the ``subprocess:`` and ``ssh://`` backends
   (see ``docs/RUNTIME.md``);
 * ``repro-store`` — result-store maintenance
-  (``python -m repro.runtime.store_cli``: ``merge SRC... DST``, ``info``);
+  (``python -m repro.runtime.store_cli``: ``merge SRC... DST``, ``info``,
+  ``reshard`` between the flat and ``shard=XX/`` layouts, ``gc --keep``
+  roster-based pruning);
+* ``repro-cluster`` — operate the elastic ``cluster:N`` execution backend
+  (``python -m repro.cluster.cli``: ``health`` worker liveness probe,
+  ``roster`` store-key keep-set for ``repro-store gc``, ``plan`` dry-run
+  of the dispatch policies; see ``docs/RUNTIME.md``);
 * ``repro-serve`` — the detection serving daemon
   (``python -m repro.serve.server``): ``train`` persists a detection model
   to a registry file, ``run`` serves it over a socket at interactive
@@ -36,7 +42,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"
@@ -55,6 +61,7 @@ setup(
             "repro-ingest=repro.workloads.ingest:main",
             "repro-worker=repro.runtime.worker:main",
             "repro-store=repro.runtime.store_cli:main",
+            "repro-cluster=repro.cluster.cli:main",
             "repro-serve=repro.serve.server:main",
             "repro-client=repro.serve.client:main",
             "repro-lint=repro.analysis.cli:main",

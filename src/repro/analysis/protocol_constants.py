@@ -5,13 +5,20 @@ interoperate across process (and potentially host) boundaries.  Their wire
 constants therefore have exactly one home each:
 
 * ``PROTOCOL_VERSION`` and ``MAX_FRAME_BYTES`` — ``runtime/framing.py``
+* the liveness frame kinds ``PING`` / ``PONG`` / ``HEARTBEAT`` and the
+  liveness timing constants ``HEARTBEAT_INTERVAL`` /
+  ``LIVENESS_DEADLINE`` — ``runtime/framing.py`` (shared by
+  ``repro-worker``, the cluster scheduler and ``repro-serve``)
 * the frame-header layout ``">Q"`` — ``runtime/framing.py``
 * ``SCHEMA_VERSION`` — ``bench/perf.py``
 
 Every other module must *import* them.  A second literal definition would
 let the two sides of a connection (or a result written last month and a
 reader today) silently disagree about the protocol they speak — the exact
-class of skew this lint makes structurally impossible.
+class of skew this lint makes structurally impossible.  The liveness
+timing pair is included because a driver enforcing a deadline its workers
+never heard of is the same skew in the time domain: kill-happy drivers
+against slow-heartbeat workers.
 """
 
 from __future__ import annotations
@@ -23,11 +30,17 @@ from .tree import ANALYSIS_ROOT, SourceTree
 
 RULE = "protocol-constant"
 
-#: constant name -> (canonical repo path, canonical module tail for imports)
+#: constant name -> (canonical repo path, canonical module tail for imports,
+#: required literal kind: "int", "number" or "str")
 CANONICAL = {
-    "PROTOCOL_VERSION": ("src/repro/runtime/framing.py", "framing"),
-    "MAX_FRAME_BYTES": ("src/repro/runtime/framing.py", "framing"),
-    "SCHEMA_VERSION": ("src/repro/bench/perf.py", "perf"),
+    "PROTOCOL_VERSION": ("src/repro/runtime/framing.py", "framing", "int"),
+    "MAX_FRAME_BYTES": ("src/repro/runtime/framing.py", "framing", "int"),
+    "PING": ("src/repro/runtime/framing.py", "framing", "str"),
+    "PONG": ("src/repro/runtime/framing.py", "framing", "str"),
+    "HEARTBEAT": ("src/repro/runtime/framing.py", "framing", "str"),
+    "HEARTBEAT_INTERVAL": ("src/repro/runtime/framing.py", "framing", "number"),
+    "LIVENESS_DEADLINE": ("src/repro/runtime/framing.py", "framing", "number"),
+    "SCHEMA_VERSION": ("src/repro/bench/perf.py", "perf", "int"),
 }
 
 FRAMING_PATH = "src/repro/runtime/framing.py"
@@ -41,12 +54,29 @@ def _fail(path: str, line: int, message: str) -> Finding:
     return Finding(RULE, path, line, message)
 
 
-def _is_int_literal(node: ast.expr) -> bool:
-    if isinstance(node, ast.Constant) and isinstance(node.value, int):
-        return True
+def _is_literal(node: ast.expr, kind: str) -> bool:
+    """Whether *node* is a literal of the required *kind*.
+
+    ``int`` accepts integer literals and arithmetic over them (``1 << 30``);
+    ``number`` additionally accepts float literals (liveness timings);
+    ``str`` accepts exactly a string literal (frame kinds).
+    """
+    if kind == "str":
+        return isinstance(node, ast.Constant) and isinstance(node.value, str)
+    types = (int, float) if kind == "number" else int
+    if isinstance(node, ast.Constant):
+        # bool is an int subclass but never a sane protocol constant.
+        return isinstance(node.value, types) and not isinstance(node.value, bool)
     if isinstance(node, ast.BinOp):
-        return _is_int_literal(node.left) and _is_int_literal(node.right)
+        return _is_literal(node.left, kind) and _is_literal(node.right, kind)
     return False
+
+
+_KIND_LABEL = {
+    "int": "literal integer",
+    "number": "literal number",
+    "str": "literal string",
+}
 
 
 def check(tree: SourceTree) -> "list[Finding]":
@@ -62,17 +92,17 @@ def check(tree: SourceTree) -> "list[Finding]":
                 for target in node.targets:
                     if not isinstance(target, ast.Name) or target.id not in CANONICAL:
                         continue
-                    home, _module_tail = CANONICAL[target.id]
+                    home, _module_tail, kind = CANONICAL[target.id]
                     if path == home:
-                        if _is_int_literal(node.value):
+                        if _is_literal(node.value, kind):
                             defined_at_home[target.id] = True
                         else:
                             findings.append(
                                 _fail(
                                     path,
                                     node.lineno,
-                                    f"{target.id} must be a literal integer in "
-                                    "its canonical module",
+                                    f"{target.id} must be a {_KIND_LABEL[kind]} "
+                                    "in its canonical module",
                                 )
                             )
                     else:
@@ -88,7 +118,7 @@ def check(tree: SourceTree) -> "list[Finding]":
                 module_tail = (node.module or "").rsplit(".", 1)[-1]
                 for alias in node.names:
                     if alias.name in CANONICAL:
-                        _home, expected_tail = CANONICAL[alias.name]
+                        _home, expected_tail, _kind = CANONICAL[alias.name]
                         if module_tail != expected_tail:
                             findings.append(
                                 _fail(
@@ -116,7 +146,7 @@ def check(tree: SourceTree) -> "list[Finding]":
 
     for name, seen in sorted(defined_at_home.items()):
         if not seen:
-            home, _tail = CANONICAL[name]
+            home, _tail, _kind = CANONICAL[name]
             findings.append(
                 _fail(
                     home,

@@ -20,6 +20,13 @@ against:
   at any execution backend (``local:N`` by default; e.g. ``subprocess:N``
   to time the worker wire protocol) and the chosen spec is recorded in a
   ``backend`` column of every scheduler row.
+* ``cluster``  — policy A/B through the elastic ``cluster:N`` backend
+  (:mod:`repro.cluster`): the same batch under every dispatch policy
+  (``fifo``/``ljf``/``edd``/``suspend``) with per-policy makespan, requeue
+  and worker-lifecycle metrics, plus *asserted* dispatch-order invariants
+  (ljf dispatches costs non-increasing, edd follows deadlines, suspend
+  never dispatches a lower priority while a higher one is queued or in
+  flight).  Makespans and deltas are recorded-not-gated.
 * ``store``    — cold simulate-and-fill versus warm replay against a
   :class:`~repro.runtime.ResultStore`.
 * ``serve``    — end-to-end verdict latency through the ``repro-serve``
@@ -77,7 +84,10 @@ from ..workloads.isa import Opcode
 #: v5: new ``native`` section (compiled C kernel vs scalar on the standard
 #:     probe workload, compiler name/version recorded; ``available: false``
 #:     when no compiler is found).
-SCHEMA_VERSION = 5
+#: v6: new ``cluster`` section (elastic ``cluster:N`` backend policy A/B:
+#:     per-policy makespan/requeue metrics, deltas vs fifo, and asserted
+#:     dispatch-order invariants for ljf/edd/suspend).
+SCHEMA_VERSION = 6
 
 #: Default output file, kept at the repo root by CI so the perf trajectory
 #: of the project lives beside the code that produced it.
@@ -384,6 +394,161 @@ def bench_engine(
     }
 
 
+#: Worker budget of the cluster policy A/B benchmark.
+CLUSTER_WORKERS = 2
+
+#: Liveness tuning for the benchmark's short-lived clusters: a fast
+#: heartbeat keeps spawn/teardown cheap without touching the canonical
+#: defaults the real backend ships with.
+CLUSTER_HEARTBEAT = 0.2
+
+
+def _drive_cluster_policy(
+    policy: str, chunks: "list[list]", traces, contexts: "list[dict] | None" = None
+) -> "list[dict]":
+    """Run *chunks* through a one-worker cluster and return its dispatch log.
+
+    One worker serializes dispatch, and the engine-free direct drive queues
+    every ticket before draining — so the log is the pure policy order,
+    deterministic and assertable.
+    """
+    from ..cluster.backend import ClusterBackend
+
+    backend = ClusterBackend(1, policy, heartbeat=CLUSTER_HEARTBEAT)
+    try:
+        backend.start(traces)
+        for tag, chunk in enumerate(chunks):
+            if contexts is not None:
+                backend.submit_context(**contexts[tag])
+            backend.submit(tag, chunk, {})
+        for tag, (results, failure) in backend.drain():
+            if failure is not None:
+                raise AssertionError(
+                    f"cluster bench chunk {tag} failed under {policy}: "
+                    f"{failure.message}"
+                )
+        return list(backend.dispatch_log)
+    finally:
+        backend.close()
+
+
+def _cluster_policy_checks(probes: Sequence[Probe]) -> dict:
+    """Assert the dispatch-order invariant of every non-fifo policy.
+
+    Returns the verified invariants (all true — a violated invariant
+    raises, failing the bench run outright like the serve section's
+    ``executed == 0`` assert).
+    """
+    registry = TraceRegistry()
+    job = SimulationJob(
+        study="core",
+        config=core_microarch(QUICK_PRESETS[0]),
+        bug=None,
+        trace_id=registry.register(probes[0].decoded),
+        step=STEP_CYCLES,
+    )
+    traces = registry.traces
+    # Four single-job chunks; scheduling metadata (not cost) differentiates
+    # them for the edd/suspend checks.
+    single = [[(i, job)] for i in range(4)]
+
+    # fifo: submission order.
+    order = [entry["tag"] for entry in _drive_cluster_policy("fifo", single, traces)]
+    if order != [0, 1, 2, 3]:
+        raise AssertionError(f"fifo dispatched {order}, expected submission order")
+
+    # ljf: non-increasing cost (chunk sizes 1/3/2 make the costs distinct).
+    sized = [[(0, job)], [(1, job), (2, job), (3, job)], [(4, job), (5, job)]]
+    log = _drive_cluster_policy("ljf", sized, traces)
+    costs = [entry["cost"] for entry in log]
+    if costs != sorted(costs, reverse=True):
+        raise AssertionError(f"ljf dispatched costs {costs}, expected non-increasing")
+
+    # edd: earliest deadline first.
+    deadlines = [4.0, 1.0, 3.0, 2.0]
+    log = _drive_cluster_policy(
+        "edd", single, traces, contexts=[{"deadline": d} for d in deadlines]
+    )
+    order = [entry["tag"] for entry in log]
+    if order != [1, 3, 2, 0]:
+        raise AssertionError(f"edd dispatched {order}, expected deadline order [1, 3, 2, 0]")
+
+    # suspend: no lower-priority dispatch while higher priority is queued
+    # or in flight.
+    priorities = [0, 1, 0, 1]
+    log = _drive_cluster_policy(
+        "suspend", single, traces, contexts=[{"priority": p} for p in priorities]
+    )
+    order = [entry["tag"] for entry in log]
+    if order != [1, 3, 0, 2]:
+        raise AssertionError(
+            f"suspend dispatched {order}, expected priority fence [1, 3, 0, 2]"
+        )
+    return {
+        "fifo_submission_order": True,
+        "ljf_nonincreasing_cost": True,
+        "edd_deadline_order": True,
+        "suspend_priority_fence": True,
+    }
+
+
+def bench_cluster(probes: Sequence[Probe], quick: bool) -> dict:
+    """Policy A/B through the elastic ``cluster:N`` backend.
+
+    Two halves: deterministic dispatch-order invariants (asserted, one
+    worker — see :func:`_cluster_policy_checks`) and a makespan A/B of the
+    same batch under every policy at :data:`CLUSTER_WORKERS` workers, with
+    the liveness counters recorded so a requeue-happy run is visible in the
+    report.  Makespans are recorded-not-gated: policy deltas on a healthy
+    two-worker run are scheduling noise, not a perf claim — the interesting
+    columns are the requeue/respawn counts (zero on a healthy run) and the
+    asserted invariants.
+    """
+    from ..cluster.backend import ClusterBackend
+    from ..cluster.policies import POLICIES
+
+    checks = _cluster_policy_checks(probes)
+
+    registry = TraceRegistry()
+    batch = _engine_jobs(probes, registry, quick)
+    policies = {}
+    for name in POLICIES:
+        backend = ClusterBackend(
+            CLUSTER_WORKERS, name, heartbeat=CLUSTER_HEARTBEAT
+        )
+        with JobEngine(backend=backend) as engine:
+            start = time.perf_counter()
+            results = engine.run(batch, registry.traces)
+            makespan = time.perf_counter() - start
+            stats = engine.stats
+            if len(results) != len(batch):
+                raise AssertionError(
+                    f"cluster[{name}] returned {len(results)}/{len(batch)} results"
+                )
+            policies[name] = {
+                "makespan_seconds": round(makespan, 4),
+                "jobs_per_sec": round(len(batch) / makespan, 2) if makespan else None,
+                "chunks": stats.chunks,
+                "chunks_requeued": stats.chunks_requeued,
+                "workers_spawned": stats.workers_spawned,
+                "workers_lost": stats.workers_lost,
+                "workers_respawned": stats.workers_respawned,
+            }
+    fifo_makespan = policies["fifo"]["makespan_seconds"]
+    for name, row in policies.items():
+        row["speedup_vs_fifo"] = (
+            round(fifo_makespan / row["makespan_seconds"], 3)
+            if row["makespan_seconds"]
+            else None
+        )
+    return {
+        "jobs": len(batch),
+        "workers": CLUSTER_WORKERS,
+        "policy_checks": checks,
+        "policies": policies,
+    }
+
+
 def bench_store(probes: Sequence[Probe], quick: bool) -> dict:
     """Cold simulate-and-fill vs warm replay against a persistent store."""
     registry = TraceRegistry()
@@ -517,6 +682,7 @@ def run_benchmarks(
         "native": bench_native(probes, quick),
         "batch": bench_batch(quick),
         "engine": bench_engine(probes, jobs, quick, backend=backend),
+        "cluster": bench_cluster(probes, quick),
         "store": bench_store(probes, quick),
         "serve": bench_serve(quick),
         "environment": {
@@ -593,6 +759,15 @@ def main(argv: list[str] | None = None) -> int:
             f"  engine[{name}@{row['backend']}]: {row['jobs_per_sec']} jobs/s, "
             f"{row['chunks']} chunks, straggler={row['straggler_jobs']} jobs, "
             f"pool reuse {row['pool_reuses']}/{row['pool_creates'] + row['pool_reuses']}"
+        )
+    cluster = report["cluster"]
+    for name, row in cluster["policies"].items():
+        print(
+            f"  cluster[{name}@{cluster['workers']} workers]: "
+            f"{row['makespan_seconds']}s makespan "
+            f"({row['speedup_vs_fifo']}x vs fifo), "
+            f"requeued={row['chunks_requeued']} "
+            f"respawned={row['workers_respawned']}"
         )
     print(
         f"  store replay: {store['replay_speedup']}x "

@@ -11,7 +11,8 @@ The schema-v5 ``native.aggregate_speedup`` column (compiled C kernel vs
 scalar) is gated the same way with its own static floor
 (:data:`NATIVE_FLOOR`) whenever the reports carry it — reports from
 compiler-less hosts record ``available: false`` and the native gate simply
-does not apply.  The ``batch`` and ``serve`` columns stay tracked-not-gated.
+does not apply.  The ``batch``, ``serve`` and (schema-v6) ``cluster``
+columns stay tracked-not-gated.
 
 CI runners (especially 1-vCPU ones) are noisy, so the gate is deliberately
 forgiving: the *current* measurement is the **median** of N ``repro-bench``
@@ -93,6 +94,25 @@ def read_native_speedup(path: "str | Path") -> "float | None":
     if not native or not native.get("available"):
         return None
     return float(native["aggregate_speedup"])
+
+
+def read_cluster_requeues(path: "str | Path") -> "tuple[int, int] | None":
+    """The ``cluster`` (chunks_requeued, workers_respawned) totals (None pre-v6).
+
+    Tracked, not gated: on a healthy runner both totals are zero across
+    every policy, and a nonzero value in the trajectory flags flaky worker
+    infrastructure — but gating on it would make the ratchet fail on the
+    very runner flakiness the elastic backend exists to absorb.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    policies = report.get("cluster", {}).get("policies")
+    if not policies:
+        return None
+    return (
+        sum(int(row.get("chunks_requeued", 0)) for row in policies.values()),
+        sum(int(row.get("workers_respawned", 0)) for row in policies.values()),
+    )
 
 
 def read_serve_latency(path: "str | Path") -> "tuple[float, float] | None":
@@ -192,6 +212,7 @@ def main(argv: "list[str] | None" = None) -> int:
     batches = []
     serve_p50s = []
     serve_rates = []
+    cluster_requeues = []
     for path in args.reports:
         speedup = read_speedup(path)
         speedups.append(speedup)
@@ -209,7 +230,15 @@ def main(argv: "list[str] | None" = None) -> int:
             serve_p50s.append(serve[0])
             serve_rates.append(serve[1])
             serve_note = f", serve {serve[0]:g}ms p50"
-        print(f"  {path}: {speedup:g}x{native_note}{batch_note}{serve_note}")
+        cluster = read_cluster_requeues(path)
+        cluster_note = ""
+        if cluster is not None:
+            cluster_requeues.append(cluster[0])
+            cluster_note = f", cluster requeues {cluster[0]}"
+        print(
+            f"  {path}: {speedup:g}x{native_note}{batch_note}{serve_note}"
+            f"{cluster_note}"
+        )
     if batches:
         print(
             f"  batch(vector) median {statistics.median(batches):g}x "
@@ -220,6 +249,11 @@ def main(argv: "list[str] | None" = None) -> int:
             f"  serve warm median {statistics.median(serve_p50s):g}ms p50, "
             f"{statistics.median(serve_rates):g} verdicts/s "
             "(tracked, not gated)"
+        )
+    if cluster_requeues:
+        print(
+            f"  cluster requeues total {sum(cluster_requeues)} across "
+            f"{len(cluster_requeues)} run(s) (tracked, not gated)"
         )
 
     previous = None

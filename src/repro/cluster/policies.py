@@ -1,0 +1,137 @@
+"""Pluggable sweep policies: which queued chunk dispatches next.
+
+The :class:`~repro.cluster.scheduler.ClusterScheduler` holds a queue of
+:class:`ChunkTicket`\\ s and, whenever a worker slot is idle, asks its
+:class:`SweepPolicy` to pick one.  A policy sees the queued tickets *and*
+the tickets currently running, so it can decide not only *which* chunk goes
+next but whether anything should go at all (``suspend`` stalls low-priority
+work while a higher-priority sweep is contending).
+
+Policies generalise the engine's LJF/uniform chunk-*planning* seam to
+chunk-*dispatch* time: planning decides how jobs are binned into chunks,
+the policy decides the order those bins reach workers.  All four policies
+are deterministic functions of the ticket set — ties always break on the
+submission sequence number — so a dispatch order can be asserted in tests
+and compared across policies in the ``repro-bench`` A/B harness
+(docs/PERFORMANCE.md).
+
+==========  ==================================================================
+Policy      Dispatch rule
+==========  ==================================================================
+``fifo``    submission order (sequence number).
+``ljf``     costliest ticket first (cost proxy: Σ trace length × width, the
+            same proxy LJF chunk planning uses); ties in submission order.
+``edd``     earliest due date: smallest deadline first, deadline-less
+            tickets last; ties in submission order.
+``suspend`` strict priority: a ticket is dispatchable only if no queued *or
+            running* ticket has a higher priority — a contending
+            high-priority sweep pauses the low-priority queue entirely,
+            including leaving workers idle while its own chunks finish.
+            Within the top priority band, submission order.
+==========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ChunkTicket:
+    """One planned chunk queued for dispatch, plus its scheduling inputs.
+
+    ``seq`` is the backend-wide submission sequence number (the FIFO key and
+    the universal tie-breaker).  ``cost`` is the engine's cost proxy summed
+    over the chunk's jobs.  ``priority`` (higher = more urgent) and
+    ``deadline`` (seconds on the scheduler's clock, ``None`` = no due date)
+    come from :meth:`~repro.cluster.backend.ClusterBackend.submit_context`.
+    ``requeues`` counts how many times the ticket was recovered from a dead
+    worker and put back in the queue.
+    """
+
+    seq: int
+    tag: int
+    chunk: list = field(repr=False)
+    cost: int = 1
+    priority: int = 0
+    deadline: "float | None" = None
+    requeues: int = 0
+
+
+class SweepPolicy:
+    """Base dispatch policy: FIFO.  Subclasses override :meth:`select`."""
+
+    name = "fifo"
+
+    def select(
+        self,
+        queued: Sequence[ChunkTicket],
+        running: Sequence[ChunkTicket],
+    ) -> "ChunkTicket | None":
+        """The queued ticket to dispatch next, or ``None`` to hold back.
+
+        *queued* is never empty when called; *running* lists tickets
+        currently executing on workers (``suspend`` is the only built-in
+        policy that reads it).
+        """
+        return min(queued, key=lambda t: t.seq)
+
+
+class LJFPolicy(SweepPolicy):
+    """Longest job first: highest cost, then submission order."""
+
+    name = "ljf"
+
+    def select(self, queued, running):
+        return min(queued, key=lambda t: (-t.cost, t.seq))
+
+
+class EDDPolicy(SweepPolicy):
+    """Earliest due date: smallest deadline, deadline-less tickets last."""
+
+    name = "edd"
+
+    def select(self, queued, running):
+        return min(
+            queued,
+            key=lambda t: (t.deadline if t.deadline is not None else math.inf, t.seq),
+        )
+
+
+class SuspendPolicy(SweepPolicy):
+    """Strict priority bands: lower bands pause while a higher one contends."""
+
+    name = "suspend"
+
+    def select(self, queued, running):
+        ceiling = max(t.priority for t in queued)
+        if running:
+            ceiling = max(ceiling, max(t.priority for t in running))
+        eligible = [t for t in queued if t.priority >= ceiling]
+        if not eligible:
+            # The top band is entirely in flight: stall rather than let a
+            # lower band grab the idle worker (its chunk could outlive the
+            # high-priority sweep's next submission).
+            return None
+        return min(eligible, key=lambda t: t.seq)
+
+
+#: Policy name -> class, for spec strings (``cluster:4,policy=edd``).
+POLICIES = {
+    policy.name: policy
+    for policy in (SweepPolicy, LJFPolicy, EDDPolicy, SuspendPolicy)
+}
+
+
+def parse_policy(name: "str | SweepPolicy") -> SweepPolicy:
+    """Build a policy from its name (an instance passes through)."""
+    if isinstance(name, SweepPolicy):
+        return name
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

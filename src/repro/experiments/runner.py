@@ -162,7 +162,10 @@ def main(argv: list[str] | None = None) -> int:
         f"[scheduler] {context.engine.scheduler} chunks={stats.chunks} "
         f"pool_creates={stats.pool_creates} pool_reuses={stats.pool_reuses} "
         f"traces_shipped={stats.traces_shipped} trace_deltas={stats.trace_deltas} "
-        f"straggler_jobs={stats.straggler_jobs}\n"
+        f"straggler_jobs={stats.straggler_jobs} "
+        f"workers={stats.workers_spawned}/{stats.workers_lost}lost"
+        f"/{stats.workers_respawned}respawned "
+        f"chunks_requeued={stats.chunks_requeued}\n"
     )
     context.close()
     print(report)

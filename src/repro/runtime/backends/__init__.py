@@ -11,6 +11,11 @@ Spec                        Meaning
 ``subprocess`` /            N local ``repro-worker`` processes over the stdio
 ``subprocess:N``            frame protocol (default N=2) — the remote path,
                             fully exercisable without a network.
+``cluster[:N][,opts]``      Elastic scheduler-managed ``repro-worker`` pool
+                            (:mod:`repro.cluster`): heartbeat liveness,
+                            respawn with backoff, chunk requeue, pluggable
+                            dispatch policies (``policy=fifo|ljf|edd|
+                            suspend``).
 ``ssh://host:N,host2:M``    ``repro-worker`` over ``ssh`` on each host, N/M
                             worker processes per host (default 1).
 ==========================  ==================================================
@@ -56,8 +61,8 @@ __all__ = [
 DEFAULT_SUBPROCESS_WORKERS = 2
 
 _GRAMMAR = (
-    "expected 'serial', 'local[:N]', 'subprocess[:N]' "
-    "or 'ssh://host[:N],host2[:N]'"
+    "expected 'serial', 'local[:N]', 'subprocess[:N]', "
+    "'cluster[:N][,policy=P]' or 'ssh://host[:N],host2[:N]'"
 )
 
 
@@ -122,6 +127,13 @@ def parse_backend(spec: "str | ExecutionBackend") -> ExecutionBackend:
     if text == "local" or text.startswith("local:"):
         _, _, body = text.partition(":")
         return LocalBackend(_count(text, body, default=os.cpu_count() or 1))
+    if text == "cluster" or text.startswith("cluster:"):
+        # Imported lazily: repro.cluster builds on the runtime (engine cost
+        # model, framing, this very module), so a top-level import here
+        # would be circular.
+        from ...cluster.backend import parse_cluster_spec
+
+        return parse_cluster_spec(text)
     if text == "subprocess" or text.startswith("subprocess:"):
         _, _, body = text.partition(":")
         workers = _count(text, body, default=DEFAULT_SUBPROCESS_WORKERS)

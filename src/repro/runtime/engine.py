@@ -14,6 +14,7 @@ Where those jobs actually execute is a pluggable
     JobEngine(backend="serial")                  # inline (default)
     JobEngine(backend="local:8")                 # persistent process pool
     JobEngine(backend="subprocess:4")            # repro-worker over stdio
+    JobEngine(backend="cluster:4,policy=ljf")    # elastic scheduler-managed pool
     JobEngine(backend="ssh://hostA:4,hostB:4")   # repro-worker over ssh
     JobEngine(jobs=8)                            # sugar for "local:8"
 

@@ -24,6 +24,18 @@ Handshake: the connecting side sends ``("hello", {"protocol": V})`` and the
 accepting side answers with its own hello (or ``("error", message)``); both
 call :func:`check_hello` so a version mismatch is rejected symmetrically.
 
+Liveness (protocol v2): any side may send ``("ping", token)`` and expects a
+``("pong", {"token": token, "protocol": V, ...})`` answer; a driver's hello
+may additionally carry ``{"heartbeat": seconds}``, asking the worker to emit
+unsolicited ``("heartbeat", {"seq": n, "protocol": V, ...})`` frames every
+:data:`HEARTBEAT_INTERVAL`-ish seconds from a side thread — so a worker
+grinding through a long chunk is still distinguishable from a hung or
+``SIGKILL``-ed one.  A peer silent for :data:`LIVENESS_DEADLINE` seconds is
+presumed dead; the ``repro.cluster`` scheduler kills and respawns it and
+requeues whatever chunk it held.  Both constants are canonical *here* (the
+``protocol-constant`` lint enforces single definitions) and are scaled, not
+redefined, by callers that need faster test deadlines.
+
 Sockets plug in via ``socket.makefile("rb")`` / ``makefile("wb")`` — the
 framing functions only need binary file objects with ``read``/``write``/
 ``flush``.
@@ -39,7 +51,10 @@ from .backends.base import BackendError
 
 #: Version of the frame protocol; bump on any incompatible layout change.
 #: Both sides of every connection refuse to talk across a mismatch.
-PROTOCOL_VERSION = 1
+#: v2: ping/pong/heartbeat liveness frames (the heartbeat side-channel is
+#: opt-in via the driver hello, but a v1 peer would treat the new kinds as
+#: garbage mid-session, so the version is bumped rather than feature-flagged).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame body.  Real frames are far smaller; a
 #: length beyond this means the stream is garbage (e.g. a worker printing
@@ -55,6 +70,25 @@ SHUTDOWN = "shutdown"
 TRACES = "traces"
 CHUNK = "chunk"
 RESULT = "result"
+
+#: Liveness frame kinds (protocol v2), shared by the worker protocol and the
+#: ``repro-serve`` daemon: ``ping`` expects a ``pong`` answer; ``heartbeat``
+#: is the worker's unsolicited I-am-alive side-channel.
+PING = "ping"
+PONG = "pong"
+HEARTBEAT = "heartbeat"
+
+#: Seconds between unsolicited worker heartbeat frames (requested via the
+#: driver hello's ``{"heartbeat": seconds}`` field; this is the default the
+#: cluster scheduler asks for).
+HEARTBEAT_INTERVAL = 1.0
+
+#: Seconds of total silence (no heartbeat, pong, or result) after which a
+#: heartbeat-enabled worker is presumed dead.  Deliberately many multiples
+#: of :data:`HEARTBEAT_INTERVAL`: heartbeats ride a daemon thread that a
+#: GIL-hogging simulation can delay, and a false kill costs a full chunk
+#: requeue.
+LIVENESS_DEADLINE = 15.0
 
 _HEADER = struct.Struct(">Q")
 

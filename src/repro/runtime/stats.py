@@ -24,6 +24,14 @@ class EngineStats:
     sent to workers at worker start-up — once per worker for remote
     backends) and ``trace_deltas`` (trace copies attached to chunks as
     deltas).
+
+    The liveness counters are owned by the elastic ``cluster`` backend
+    (:mod:`repro.cluster`): ``workers_spawned`` (worker processes started,
+    including respawns), ``workers_lost`` (workers that died or were killed
+    for missing their liveness deadline), ``workers_respawned`` (spawns
+    that replaced a previously-live worker) and ``chunks_requeued``
+    (in-flight chunks given back to the queue after their worker was lost).
+    They stay zero on the serial/local/subprocess backends.
     """
 
     batches: int = 0
@@ -36,9 +44,15 @@ class EngineStats:
     pool_reuses: int = 0
     traces_shipped: int = 0
     trace_deltas: int = 0
+    workers_spawned: int = 0
+    workers_lost: int = 0
+    workers_respawned: int = 0
+    chunks_requeued: int = 0
 
     def reset(self) -> None:
         self.batches = self.jobs = self.store_hits = self.executed = 0
         self.chunks = self.straggler_jobs = 0
         self.pool_creates = self.pool_reuses = 0
         self.traces_shipped = self.trace_deltas = 0
+        self.workers_spawned = self.workers_lost = 0
+        self.workers_respawned = self.chunks_requeued = 0

@@ -9,6 +9,32 @@ run never leaves a half-written entry that later readers trust.
 
 Corrupt or truncated entries are treated as misses: the bad file is removed
 and the job is recomputed, never crashing an experiment run.
+
+Two on-disk layouts coexist:
+
+``flat``
+    Every ``<key>.npz`` directly in the store directory — the seed layout,
+    fine for thousands of entries.
+``sharded``
+    Entries grouped into ``shard=<key[:2]>/`` subdirectories keyed by the
+    first two hex digits of the content hash (256 shards).  Directory
+    listings stay short at cluster scale, shards rsync independently, and
+    concurrent writers from many processes contend on a shard directory
+    instead of one giant one.  Temp files live inside the shard directory
+    so the ``os.replace`` rename never crosses a filesystem boundary.
+
+The layout is auto-detected on open (explicit ``layout=`` argument, then
+the ``.repro-store-layout`` marker file, then the presence of ``shard=``
+subdirectories, then flat); :meth:`ResultStore.reshard` migrates in place
+and ``repro-store reshard`` exposes it.  All operations — including
+:meth:`ResultStore.merge_from` between stores of different layouts — are
+layout-agnostic.
+
+:meth:`ResultStore.gc` prunes entries not named by a *keep roster* (see
+:mod:`repro.cluster.roster` and ``repro-store gc``): content addressing
+means reachability cannot be derived from the store itself, so the roster
+of every key the current experiment configuration can produce is computed
+from the experiment inputs and everything else is garbage.
 """
 
 from __future__ import annotations
@@ -38,6 +64,19 @@ _TMP_PATTERN = re.compile(r"\.tmp\d+$")
 #: writer; younger temp files may belong to a live writer in another
 #: process sharing the store and must not be touched.
 _STALE_TMP_SECONDS = 3600.0
+
+#: Shard directory prefix of the sharded layout (``shard=3f/``).
+_SHARD_PREFIX = "shard="
+
+#: Hex digits of the key that pick the shard (2 -> 256 shards).
+SHARD_WIDTH = 2
+
+#: Marker file recording the store's layout, so empty sharded stores are
+#: still detected as sharded on reopen.
+_LAYOUT_MARKER = ".repro-store-layout"
+
+#: The two recognised on-disk layouts.
+LAYOUTS = ("flat", "sharded")
 
 
 @dataclass
@@ -125,6 +164,7 @@ class StoreStats:
     corrupt: int = 0
     evicted: int = 0
     tmp_swept: int = 0
+    gc_removed: int = 0
 
 
 class ResultStore:
@@ -138,15 +178,29 @@ class ResultStore:
     max_entries:
         Optional soft capacity; when exceeded after a write, the
         least-recently-modified entries are evicted.
+    layout:
+        ``"flat"``, ``"sharded"``, or ``None`` to auto-detect (marker file,
+        then ``shard=`` subdirectories, then flat).  An explicit layout on
+        an empty directory also records the marker, so the choice sticks.
     """
 
-    def __init__(self, path: str | os.PathLike, max_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_entries: int | None = None,
+        layout: str | None = None,
+    ) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if layout is not None and layout not in LAYOUTS:
+            raise ValueError(f"unknown store layout {layout!r}; expected {LAYOUTS}")
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.stats = StoreStats()
+        self.layout = layout if layout is not None else self._detect_layout()
+        if layout is not None:
+            self._write_marker()
         #: Directory scans performed (observable for the O(N²)-put regression
         #: test: a warm store must not re-glob the directory on every write).
         self.scans = 0
@@ -160,7 +214,7 @@ class ResultStore:
         self._count = 0
         self.scans += 1
         stale_before = time.time() - _STALE_TMP_SECONDS
-        for child in self.path.iterdir():
+        for child in self._iter_store_files():
             name = child.name
             if name.endswith(".npz"):
                 self._count += 1
@@ -172,15 +226,71 @@ class ResultStore:
                 except OSError:  # pragma: no cover - concurrent cleanup
                     pass
 
+    # -- layout ----------------------------------------------------------------
+
+    def _detect_layout(self) -> str:
+        marker = self.path / _LAYOUT_MARKER
+        try:
+            text = marker.read_text(encoding="utf-8").strip()
+        except OSError:
+            text = ""
+        if text in LAYOUTS:
+            return text
+        for child in self.path.iterdir():
+            if child.is_dir() and child.name.startswith(_SHARD_PREFIX):
+                return "sharded"
+        return "flat"
+
+    def _write_marker(self) -> None:
+        try:
+            (self.path / _LAYOUT_MARKER).write_text(
+                f"{self.layout}\n", encoding="utf-8"
+            )
+        except OSError:  # pragma: no cover - read-only store directory
+            pass
+
+    def _shard_dirs(self) -> list[Path]:
+        return sorted(
+            child
+            for child in self.path.iterdir()
+            if child.is_dir() and child.name.startswith(_SHARD_PREFIX)
+        )
+
+    def _iter_store_files(self):
+        """Every file either layout could own (entries *and* temp files)."""
+        for child in self.path.iterdir():
+            if child.is_dir():
+                if child.name.startswith(_SHARD_PREFIX):
+                    yield from child.iterdir()
+            else:
+                yield child
+
+    def shard_counts(self) -> dict[str, int]:
+        """Entry count per shard (``{}`` for a flat store)."""
+        return {
+            child.name[len(_SHARD_PREFIX):]: sum(
+                1 for entry in child.iterdir() if entry.name.endswith(".npz")
+            )
+            for child in self._shard_dirs()
+        }
+
     # -- helpers ---------------------------------------------------------------
 
     def _entry_path(self, key: str) -> Path:
+        if self.layout == "sharded":
+            return self.path / f"{_SHARD_PREFIX}{key[:SHARD_WIDTH]}" / f"{key}.npz"
         return self.path / f"{key}.npz"
 
     def _rescan(self) -> list[Path]:
-        """Authoritative entry listing; resyncs the incremental count."""
+        """Authoritative entry listing; resyncs the incremental count.
+
+        Scans *both* layouts, so entries are never silently orphaned when a
+        store is opened with the wrong layout or mid-migration.
+        """
         self.scans += 1
-        entries = list(self.path.glob("*.npz"))
+        entries = [
+            child for child in self._iter_store_files() if child.name.endswith(".npz")
+        ]
         self._count = len(entries)
         return entries
 
@@ -193,8 +303,25 @@ class ResultStore:
         """
         return self._count
 
+    def _locate(self, key: str) -> Path | None:
+        """The on-disk entry for *key*, tolerating a mid-migration store.
+
+        The current layout's path is authoritative; the other layout's path
+        is consulted as a fallback so a store interrupted half-way through
+        :meth:`reshard` (or populated by writers disagreeing on layout)
+        still serves every entry it holds.
+        """
+        entry = self._entry_path(key)
+        if entry.exists():
+            return entry
+        if self.layout == "sharded":
+            alternate = self.path / f"{key}.npz"
+        else:
+            alternate = self.path / f"{_SHARD_PREFIX}{key[:SHARD_WIDTH]}" / f"{key}.npz"
+        return alternate if alternate.exists() else None
+
     def __contains__(self, key: str) -> bool:
-        return self._entry_path(key).exists()
+        return self._locate(key) is not None
 
     def keys(self) -> list[str]:
         return sorted(p.stem for p in self._rescan())
@@ -203,8 +330,8 @@ class ResultStore:
 
     def get(self, key: str) -> StoredResult | None:
         """Load the entry for *key*, or ``None`` on miss or corruption."""
-        entry = self._entry_path(key)
-        if not entry.exists():
+        entry = self._locate(key)
+        if entry is None:
             self.stats.misses += 1
             return None
         try:
@@ -248,6 +375,10 @@ class ResultStore:
     def put(self, key: str, result: StoredResult) -> None:
         """Persist *result* under *key* atomically."""
         entry = self._entry_path(key)
+        # Concurrent-writer safe: mkdir is idempotent, and the temp file
+        # shares the shard directory so os.replace stays a same-directory
+        # rename.
+        entry.parent.mkdir(parents=True, exist_ok=True)
         tmp = entry.with_suffix(f".tmp{os.getpid()}")
         meta = json.dumps(
             {
@@ -290,6 +421,9 @@ class ResultStore:
         the standard read path).  Each copy goes through the normal
         :meth:`put`, so this store's ``max_entries`` eviction policy is
         honoured and every merged entry is re-validated on the way in.
+        The layouts of the two stores are independent: a flat store merges
+        into a sharded one (and vice versa) without conversion, because
+        reads resolve keys and writes land in this store's own layout.
         """
         if other.path.resolve() == self.path.resolve():
             raise ValueError("cannot merge a store into itself")
@@ -303,6 +437,68 @@ class ResultStore:
             self.put(key, result)
             merged += 1
         return merged
+
+    # -- maintenance -----------------------------------------------------------
+
+    def gc(self, keep: "set[str]", dry_run: bool = False) -> list[str]:
+        """Remove every entry whose key is not in the *keep* roster.
+
+        Returns the sorted keys that were removed (or would be, under
+        *dry_run*).  The roster is the set of keys the current experiment
+        configuration can produce (:mod:`repro.cluster.roster`); anything
+        else is unreachable garbage — results of retired configs, old
+        scales or dropped traces.  GC never invalidates a surviving entry:
+        content addressing means the keep-set's payloads are untouched, so
+        replaying the surviving roster still yields ``executed=0``.
+        Empty shard directories left behind are pruned.
+        """
+        removed: list[str] = []
+        for entry in self._rescan():
+            if entry.stem in keep:
+                continue
+            if not dry_run:
+                try:
+                    entry.unlink()
+                    self._count -= 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    continue
+                self.stats.gc_removed += 1
+            removed.append(entry.stem)
+        if not dry_run:
+            for shard in self._shard_dirs():
+                try:
+                    shard.rmdir()  # only succeeds once empty
+                except OSError:
+                    pass
+        return sorted(removed)
+
+    def reshard(self, layout: str = "sharded") -> int:
+        """Migrate the store in place to *layout*; returns entries moved.
+
+        Each entry is moved with a same-filesystem ``os.replace``, so
+        readers racing the migration see every entry at one path or the
+        other — never absent, never half-written (and :meth:`_locate`
+        checks both).  The layout marker is rewritten at the end.
+        """
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown store layout {layout!r}; expected {LAYOUTS}")
+        self.layout = layout
+        moved = 0
+        for entry in self._rescan():
+            target = self._entry_path(entry.stem)
+            if target == entry:
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(entry, target)
+            moved += 1
+        if layout == "flat":
+            for shard in self._shard_dirs():
+                try:
+                    shard.rmdir()
+                except OSError:  # pragma: no cover - concurrent writer
+                    pass
+        self._write_marker()
+        return moved
 
     def _evict(self, fresh: Path | None = None) -> None:
         """Drop the oldest entries once the soft capacity is exceeded.

@@ -7,14 +7,23 @@ sharing.  Usage::
 
     repro-store merge SRC... DST            # fold one or more stores into DST
     repro-store merge --max-entries N SRC DST
-    repro-store info PATH...                # entry counts per store
+    repro-store info PATH...                # layout + entry counts per store
+    repro-store reshard PATH [--layout L]   # migrate flat <-> sharded in place
+    repro-store gc PATH --keep ROSTER       # prune entries outside the roster
 
 ``merge`` copies every entry absent from DST (creating it if needed),
 re-validating each payload on the way in; corrupt source entries are
 skipped and reported.  ``--max-entries`` applies DST's normal
-least-recently-modified eviction policy while merging.  A subsequent
-experiment run against the merged store re-simulates nothing
-(``executed=0``) for any job either source had computed.
+least-recently-modified eviction policy while merging.  Flat and sharded
+stores mix freely on either side.  A subsequent experiment run against
+the merged store re-simulates nothing (``executed=0``) for any job either
+source had computed.
+
+``reshard`` migrates between the flat layout and the ``shard=XX/``
+sharded layout with same-filesystem renames (safe against readers).
+``gc`` needs a keep roster — one store key per line, as written by
+``repro-cluster roster`` — and removes everything else; ``--dry-run``
+prints what would go.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from .store import ResultStore
+from .store import LAYOUTS, ResultStore
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -62,7 +71,66 @@ def _cmd_info(args: argparse.Namespace) -> int:
             continue
         store = ResultStore(path)
         swept = f", {store.stats.tmp_swept} stale tmp swept" if store.stats.tmp_swept else ""
-        print(f"{path}: {len(store)} entries{swept}")
+        print(f"{path}: {len(store)} entries, layout={store.layout}{swept}")
+        if store.layout == "sharded":
+            counts = store.shard_counts()
+            if counts:
+                occupied = len(counts)
+                widest = max(counts.values())
+                print(
+                    f"  {occupied} shards occupied, "
+                    f"largest {widest} entr{'y' if widest == 1 else 'ies'}"
+                )
+            for shard in sorted(counts):
+                print(f"    shard={shard}: {counts[shard]}")
+    return 0
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    if not Path(args.store).is_dir():
+        print(f"error: store {args.store} does not exist")
+        return 2
+    store = ResultStore(args.store)
+    before = store.layout
+    moved = store.reshard(args.layout)
+    print(
+        f"{args.store}: {before} -> {args.layout}, "
+        f"{moved} entries moved ({len(store)} total)"
+    )
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    if not Path(args.store).is_dir():
+        print(f"error: store {args.store} does not exist")
+        return 2
+    keep: set[str] = set()
+    try:
+        with open(args.keep, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    keep.add(line)
+    except OSError as exc:
+        print(f"error: cannot read roster {args.keep}: {exc}")
+        return 2
+    if not keep and not args.allow_empty_roster:
+        print(
+            "error: roster is empty — refusing to remove every entry "
+            "(pass --allow-empty-roster to override)"
+        )
+        return 2
+    store = ResultStore(args.store)
+    before = len(store)
+    removed = store.gc(keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{args.store}: {verb} {len(removed)}/{before} entries "
+        f"(roster keeps {len(keep)} keys)"
+    )
+    if args.dry_run:
+        for key in removed:
+            print(f"  {key}")
     return 0
 
 
@@ -86,9 +154,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     merge.set_defaults(func=_cmd_merge)
 
-    info = commands.add_parser("info", help="show entry counts per store")
+    info = commands.add_parser(
+        "info", help="show layout and entry counts per store"
+    )
     info.add_argument("stores", nargs="+", metavar="STORE")
     info.set_defaults(func=_cmd_info)
+
+    reshard = commands.add_parser(
+        "reshard", help="migrate a store between flat and sharded layouts"
+    )
+    reshard.add_argument("store", metavar="STORE")
+    reshard.add_argument(
+        "--layout", default="sharded", choices=list(LAYOUTS),
+        help="target layout (default: sharded)",
+    )
+    reshard.set_defaults(func=_cmd_reshard)
+
+    gc = commands.add_parser(
+        "gc", help="prune entries unreachable from a keep roster"
+    )
+    gc.add_argument("store", metavar="STORE")
+    gc.add_argument(
+        "--keep", required=True, metavar="ROSTER",
+        help="file of keys to keep, one per line (see repro-cluster roster)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without touching the store",
+    )
+    gc.add_argument(
+        "--allow-empty-roster", action="store_true",
+        help="permit GC with an empty roster (removes every entry)",
+    )
+    gc.set_defaults(func=_cmd_gc)
 
     args = parser.parse_args(argv)
     if args.command == "merge" and len(args.stores) < 2:

@@ -27,6 +27,8 @@ from typing import Iterator
 
 from ..runtime.framing import (
     HELLO,
+    PING,
+    PONG,
     PROTOCOL_VERSION,
     SHUTDOWN,
     ProtocolError,
@@ -99,8 +101,8 @@ class ServeClient:
                 raise ProtocolError(f"unexpected {kind!r} frame in a probe batch")
 
     def ping(self) -> dict:
-        kind, payload = self._request("ping")
-        if kind != "pong":
+        kind, payload = self._request(PING)
+        if kind != PONG:
             raise ProtocolError(f"ping answered with {kind!r}")
         return payload
 

@@ -48,6 +48,8 @@ from ..runtime import ResultStore
 from ..runtime.framing import (
     ERROR,
     HELLO,
+    PING,
+    PONG,
     PROTOCOL_VERSION,
     SHUTDOWN,
     ProtocolError,
@@ -59,10 +61,9 @@ from .registry import load_model, save_model, train_model
 from .session import ServingSession
 
 #: Request/response frame kinds of the serving protocol (on top of the
-#: shared HELLO / ERROR / SHUTDOWN kinds).
+#: shared HELLO / ERROR / SHUTDOWN / PING / PONG kinds, which live in
+#: :mod:`repro.runtime.framing`).
 PROBE_BATCH = "probe_batch"
-PING = "ping"
-PONG = "pong"
 STATS = "stats"
 VERDICT = "verdict"
 DONE = "done"

@@ -420,11 +420,55 @@ class TestProtocolConstants:
     def test_missing_canonical_definition_fires(self):
         overlay = _mutate(
             "src/repro/runtime/framing.py",
-            "PROTOCOL_VERSION = 1",
-            "PROTOCOL_VERSION = int('1')",
+            "PROTOCOL_VERSION = 2",
+            "PROTOCOL_VERSION = int('2')",
         )
         findings = protocol_constants.check(tree_with(overlay))
         assert any("literal integer" in f.message for f in findings)
+
+    def test_liveness_frame_kind_redefinition_fires(self):
+        path = "src/repro/synthetic_proto.py"
+        source = 'HEARTBEAT = "heartbeat"\n'
+        findings = protocol_constants.check(tree_with({path: source}))
+        assert any(
+            "HEARTBEAT redefined outside its canonical home" in f.message
+            for f in findings
+        )
+
+    def test_liveness_timing_redefinition_fires(self):
+        path = "src/repro/synthetic_proto.py"
+        source = "LIVENESS_DEADLINE = 30.0\n"
+        findings = protocol_constants.check(tree_with({path: source}))
+        assert any(
+            "LIVENESS_DEADLINE redefined outside its canonical home" in f.message
+            for f in findings
+        )
+
+    def test_liveness_constants_import_from_framing_ok(self):
+        path = "src/repro/synthetic_proto.py"
+        source = (
+            "from repro.runtime.framing import (\n"
+            "    HEARTBEAT, HEARTBEAT_INTERVAL, LIVENESS_DEADLINE, PING, PONG)\n"
+        )
+        assert protocol_constants.check(tree_with({path: source})) == []
+
+    def test_liveness_timing_must_be_numeric_literal(self):
+        overlay = _mutate(
+            "src/repro/runtime/framing.py",
+            "HEARTBEAT_INTERVAL = 1.0",
+            'HEARTBEAT_INTERVAL = float("1.0")',
+        )
+        findings = protocol_constants.check(tree_with(overlay))
+        assert any("literal number" in f.message for f in findings)
+
+    def test_frame_kind_must_be_string_literal(self):
+        overlay = _mutate(
+            "src/repro/runtime/framing.py",
+            'PING = "ping"',
+            'PING = str("ping")',
+        )
+        findings = protocol_constants.check(tree_with(overlay))
+        assert any("literal string" in f.message for f in findings)
 
 
 # ---------------------------------------------------------------------------

@@ -410,7 +410,7 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         assert report["single"]["counter_equivalence_checked"]
         assert report["single"]["kernel"] == "scalar"
         assert report["single"]["aggregate_speedup"] > 1.0
@@ -437,6 +437,16 @@ class TestBenchHarness:
         )
         assert report["store"]["warm_store_hits"] == report["store"]["jobs"]
         assert report["store"]["cold_executed"] == report["store"]["jobs"]
+        # cluster section (v6): every policy A/B'd with asserted dispatch
+        # invariants and liveness metrics recorded for the ratchet
+        cluster = report["cluster"]
+        assert set(cluster["policies"]) == {"fifo", "ljf", "edd", "suspend"}
+        assert all(cluster["policy_checks"].values())
+        for row in cluster["policies"].values():
+            assert row["makespan_seconds"] > 0
+            assert row["chunks_requeued"] == 0  # healthy run: nothing lost
+            assert row["workers_spawned"] >= 1
+        assert cluster["policies"]["fifo"]["speedup_vs_fifo"] == 1.0
         # serve section (v4): warm passes served entirely from the overlay,
         # latency columns present for the ratchet to track
         serve = report["serve"]

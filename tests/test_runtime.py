@@ -384,6 +384,166 @@ class TestResultStore:
         assert len(store) == 1  # resynced from disk, not guessed
 
 
+class TestShardedStore:
+    """The ``shard=XX/`` layout: detection, migration, GC and coexistence."""
+
+    @staticmethod
+    def _tiny_result():
+        return StoredResult(
+            study="core", config_name="X", bug_name="bug-free",
+            instructions=8, cycles=16.0, amat=0.0, step=256,
+            counters={"c": np.arange(4.0)}, ipc=np.ones(4),
+        )
+
+    def test_sharded_entries_land_in_shard_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "store", layout="sharded")
+        for key in ("aa00", "aa01", "bb02"):
+            store.put(key, self._tiny_result())
+        assert store._entry_path("aa00").parent.name == "shard=aa"
+        assert (store.path / "shard=aa" / "aa00.npz").exists()
+        assert (store.path / "shard=bb" / "bb02.npz").exists()
+        assert store.shard_counts() == {"aa": 2, "bb": 1}
+        assert len(store) == 3
+        assert store.get("aa01") is not None
+
+    def test_layout_marker_survives_reopen(self, tmp_path):
+        ResultStore(tmp_path / "store", layout="sharded").put(
+            "aa00", self._tiny_result()
+        )
+        reopened = ResultStore(tmp_path / "store")  # no layout argument
+        assert reopened.layout == "sharded"
+        assert reopened.get("aa00") is not None
+
+    def test_bad_layout_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", layout="hashed")
+
+    def test_reshard_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        keys = [f"{prefix}{index}" for prefix in ("aa", "bb") for index in range(2)]
+        for key in keys:
+            store.put(key, self._tiny_result())
+        assert store.layout == "flat"
+
+        assert store.reshard("sharded") == len(keys)
+        assert store.layout == "sharded"
+        assert sorted(store.keys()) == sorted(keys)
+        assert ResultStore(tmp_path / "store").layout == "sharded"
+        assert all(store.get(key) is not None for key in keys)
+
+        assert store.reshard("flat") == len(keys)
+        assert store.layout == "flat"
+        assert not list((store.path).glob("shard=*"))  # empty shards pruned
+        assert all(store.get(key) is not None for key in keys)
+
+    def test_locate_tolerates_mid_migration_entries(self, tmp_path):
+        # A flat entry written before an interrupted reshard must stay
+        # readable from a store opened as sharded (and vice versa).
+        flat = ResultStore(tmp_path / "store")
+        flat.put("aa00", self._tiny_result())
+        sharded = ResultStore(tmp_path / "store", layout="sharded")
+        sharded.put("bb01", self._tiny_result())
+        assert sharded.get("aa00") is not None  # flat leftover, found anyway
+        assert "aa00" in sharded
+        assert sorted(sharded.keys()) == ["aa00", "bb01"]
+
+    def test_gc_prunes_outside_roster(self, tmp_path):
+        store = ResultStore(tmp_path / "store", layout="sharded")
+        for key in ("aa00", "aa01", "bb02", "cc03"):
+            store.put(key, self._tiny_result())
+
+        preview = store.gc({"aa00", "bb02"}, dry_run=True)
+        assert preview == ["aa01", "cc03"]
+        assert len(store) == 4  # dry run touched nothing
+
+        removed = store.gc({"aa00", "bb02"})
+        assert removed == ["aa01", "cc03"]
+        assert store.stats.gc_removed == 2
+        assert sorted(store.keys()) == ["aa00", "bb02"]
+        assert store.get("aa00") is not None
+        assert not (store.path / "shard=cc").exists()  # emptied shard pruned
+
+    def test_gc_with_superset_roster_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("aa00", self._tiny_result())
+        assert store.gc({"aa00", "never-computed"}) == []
+        assert store.get("aa00") is not None
+
+    def test_cross_layout_merge(self, tmp_path):
+        sharded = ResultStore(tmp_path / "sharded", layout="sharded")
+        sharded.put("aa00", self._tiny_result())
+        flat = ResultStore(tmp_path / "flat")
+        flat.put("bb01", self._tiny_result())
+
+        assert flat.merge_from(sharded) == 1
+        assert sorted(flat.keys()) == ["aa00", "bb01"]
+        assert flat.layout == "flat"
+
+        other = ResultStore(tmp_path / "sharded2", layout="sharded")
+        assert other.merge_from(flat) == 2
+        assert sorted(other.keys()) == ["aa00", "bb01"]
+        assert (other.path / "shard=aa" / "aa00.npz").exists()
+
+    def test_cli_reshard_info_and_gc(self, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        store = ResultStore(tmp_path / "store")
+        for key in ("aa00", "aa01", "bb02"):
+            store.put(key, self._tiny_result())
+
+        assert store_main(["reshard", str(tmp_path / "store")]) == 0
+        assert "flat -> sharded, 3 entries moved" in capsys.readouterr().out
+
+        assert store_main(["info", str(tmp_path / "store")]) == 0
+        output = capsys.readouterr().out
+        assert "layout=sharded" in output
+        assert "2 shards occupied" in output
+        assert "shard=aa: 2" in output
+
+        roster = tmp_path / "roster.txt"
+        roster.write_text("# keep these\naa00\nbb02\n")
+        assert store_main([
+            "gc", str(tmp_path / "store"), "--keep", str(roster), "--dry-run",
+        ]) == 0
+        assert "would remove 1/3" in capsys.readouterr().out
+        assert store_main([
+            "gc", str(tmp_path / "store"), "--keep", str(roster),
+        ]) == 0
+        assert "removed 1/3" in capsys.readouterr().out
+        assert sorted(ResultStore(tmp_path / "store").keys()) == ["aa00", "bb02"]
+
+    def test_cli_gc_refuses_empty_roster(self, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        store = ResultStore(tmp_path / "store")
+        store.put("aa00", self._tiny_result())
+        roster = tmp_path / "empty.txt"
+        roster.write_text("# nothing\n")
+        code = store_main(["gc", str(tmp_path / "store"), "--keep", str(roster)])
+        assert code == 2
+        assert "refusing" in capsys.readouterr().out
+        assert store.get("aa00") is not None
+
+    def test_cli_gc_missing_roster_fails(self, tmp_path, capsys):
+        from repro.runtime.store_cli import main as store_main
+
+        ResultStore(tmp_path / "store").put("aa00", self._tiny_result())
+        code = store_main([
+            "gc", str(tmp_path / "store"), "--keep", str(tmp_path / "nope"),
+        ])
+        assert code == 2
+        assert "cannot read roster" in capsys.readouterr().out
+
+    def test_sharded_store_backs_an_engine_run(self, registry, tiny_trace, tmp_path):
+        jobs = _core_jobs(registry, tiny_trace)
+        store = ResultStore(tmp_path / "store", layout="sharded")
+        JobEngine(jobs=1, store=store).run(jobs, registry.traces)
+        replay = JobEngine(jobs=1, store=store)
+        replay.run(jobs, registry.traces)
+        assert replay.stats.executed == 0
+        assert replay.stats.store_hits == len(jobs)
+
+
 class TestResumableBatches:
     """A mid-batch failure must not discard finished work (store-backed)."""
 
