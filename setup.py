@@ -5,13 +5,14 @@
 
 * ``repro-experiments`` — the ``python -m repro.experiments.runner`` CLI
   (``--scale``, ``--only``, ``--jobs``, ``--backend``, ``--store``,
-  ``--trace-dir``, ``--trace-format``);
+  ``--trace-dir``, ``--trace-format``, ``--mixes``);
 * ``repro-bench`` — the tracked perf-benchmark harness
   (``python -m repro.bench.perf``: ``--quick``, ``--jobs``, ``--backend``,
   ``--output``), which writes ``BENCH_simulation.json``;
 * ``repro-ingest`` — on-disk trace inspection
-  (``python -m repro.workloads.ingest``: lists format, instruction count,
-  digest and optional SimPoint probes for each trace in a directory);
+  (``python -m repro.workloads.ingest``: lists format
+  (ChampSim/gem5/k6-style), instruction count, digest and optional SimPoint
+  probes for each trace in a directory);
 * ``repro-worker`` — the remote execution worker
   (``python -m repro.runtime.worker``): serves simulation chunks over the
   stdio frame protocol for the ``subprocess:`` and ``ssh://`` backends
@@ -42,7 +43,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hpca21-bug-detection",
-    version="0.8.0",
+    version="0.9.0",
     description=(
         "Reproduction of Barboza et al. (HPCA'21): ML-based detection of "
         "performance bugs in microprocessor designs"

@@ -87,7 +87,10 @@ from ..workloads.isa import Opcode
 #: v6: new ``cluster`` section (elastic ``cluster:N`` backend policy A/B:
 #:     per-policy makespan/requeue metrics, deltas vs fifo, and asserted
 #:     dispatch-order invariants for ljf/edd/suspend).
-SCHEMA_VERSION = 6
+#: v7: new ``mixes`` section (multi-program mix build + memory-design sweep
+#:     throughput, per-mix LLC MPKI on the reference design, digest-stability
+#:     asserted on every build).
+SCHEMA_VERSION = 7
 
 #: Default output file, kept at the repo root by CI so the perf trajectory
 #: of the project lives beside the code that produced it.
@@ -668,6 +671,75 @@ def bench_serve(quick: bool) -> dict:
     }
 
 
+#: Mix benchmark sizing: which mixes, how long, which memory designs.
+MIX_BENCH_INSTRUCTIONS = 24_000
+MIX_BENCH_INSTRUCTIONS_QUICK = 6_000
+MIX_BENCH_PRESETS = ("Skylake-mem", "Nehalem-mem")
+
+
+def bench_mixes(quick: bool) -> dict:
+    """Multi-program mix build and memory-design sweep throughput.
+
+    Builds each mix twice (digest stability is asserted — the contract the
+    content-addressed store depends on), then sweeps the full interleaved
+    stream over the memory design presets with the memory-hierarchy
+    simulator, reporting build and sweep throughput plus per-mix LLC MPKI on
+    the reference design.
+    """
+    from ..memsim import llc_mpki, simulate_memory_trace
+    from ..uarch.memory_presets import memory_microarch
+    from ..workloads.mixes import DEFAULT_MIXES, build_mix
+
+    specs = (
+        (DEFAULT_MIXES[0], DEFAULT_MIXES[3], DEFAULT_MIXES[6])
+        if quick else DEFAULT_MIXES
+    )
+    instructions = MIX_BENCH_INSTRUCTIONS_QUICK if quick else MIX_BENCH_INSTRUCTIONS
+    configs = [memory_microarch(name) for name in MIX_BENCH_PRESETS]
+
+    build_seconds = 0.0
+    sweep_seconds = 0.0
+    built_instructions = 0
+    swept_instructions = 0
+    per_mix = {}
+    for spec in specs:
+        start = time.perf_counter()
+        mix = build_mix(spec, instructions=instructions, seed=7)
+        build_seconds += time.perf_counter() - start
+        rebuilt = build_mix(spec, instructions=instructions, seed=7)
+        if mix.digest != rebuilt.digest:
+            raise AssertionError(
+                f"mix {spec.name!r} digest unstable across builds "
+                f"({mix.digest} != {rebuilt.digest})"
+            )
+        built_instructions += len(mix)
+        mpki = None
+        start = time.perf_counter()
+        for config in configs:
+            result = simulate_memory_trace(config, mix.decoded)
+            if config.name == MIX_BENCH_PRESETS[0]:
+                mpki = llc_mpki(result)
+        sweep_seconds += time.perf_counter() - start
+        swept_instructions += len(mix) * len(configs)
+        per_mix[mix.name] = {
+            "components": [c.name for c in mix.components],
+            "instructions": len(mix),
+            "llc_mpki": round(mpki, 3),
+            "digest": mix.digest,
+        }
+    return {
+        "mixes": len(specs),
+        "presets": list(MIX_BENCH_PRESETS),
+        "instructions_per_mix": instructions,
+        "build_seconds": round(build_seconds, 4),
+        "build_instr_per_sec": round(built_instructions / build_seconds),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "sweep_instr_per_sec": round(swept_instructions / sweep_seconds),
+        "digest_stability_checked": True,
+        "per_mix": per_mix,
+    }
+
+
 def run_benchmarks(
     quick: bool = False, jobs: int = 2, backend: str | None = None
 ) -> dict:
@@ -685,6 +757,7 @@ def run_benchmarks(
         "cluster": bench_cluster(probes, quick),
         "store": bench_store(probes, quick),
         "serve": bench_serve(quick),
+        "mixes": bench_mixes(quick),
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -780,6 +853,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{serve['warm']['verdicts_per_sec']} verdicts/s "
         f"(executed={serve['warm']['executed']}, "
         f"{serve['model_probes']} probes resident)"
+    )
+    mixes = report["mixes"]
+    print(
+        f"  mixes[{mixes['mixes']}x{mixes['instructions_per_mix']} instrs]: "
+        f"build {mixes['build_instr_per_sec']:,} instr/s, sweep "
+        f"{mixes['sweep_instr_per_sec']:,} instr/s over "
+        f"{len(mixes['presets'])} designs (digest-stable)"
     )
     return 0
 

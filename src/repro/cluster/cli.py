@@ -197,7 +197,7 @@ def main(argv: "list[str] | None" = None) -> int:
     roster.add_argument("--trace-dir", default=None,
                         help="build the roster over ingested on-disk traces")
     roster.add_argument("--trace-format", default=None,
-                        choices=["champsim", "gem5"])
+                        choices=["champsim", "gem5", "k6"])
     roster.add_argument("--output", "-o", default="-",
                         help="output file (default: stdout)")
     roster.set_defaults(func=_cmd_roster)

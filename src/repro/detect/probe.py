@@ -6,12 +6,13 @@ selected for it.  Counters are selected later (after bug-free training data
 exists) by :mod:`repro.detect.counter_selection`; a freshly built probe starts
 with no counters attached.
 
-Probes come from two kinds of workload: synthetic programs profiled
-in-process (:func:`build_probes`) and real on-disk traces ingested by
-:mod:`repro.workloads.ingest` (:func:`build_ingested_probes`).  The
-:class:`ProbeSource` wrappers give both a uniform ``build()`` interface so
-everything downstream — simulation caches, detectors, experiments — treats
-the resulting probes identically.
+Probes come from four kinds of workload: synthetic programs profiled
+in-process (:func:`build_probes`), real on-disk traces ingested by
+:mod:`repro.workloads.ingest` (:func:`build_ingested_probes`), synthetic
+memory-behavior archetypes (:func:`build_memsynth_probes`) and multi-program
+mixes (:func:`build_mix_probes`).  The :class:`ProbeSource` wrappers give a
+uniform ``build()`` interface so everything downstream — simulation caches,
+detectors, experiments — treats the resulting probes identically.
 """
 
 from __future__ import annotations
@@ -112,7 +113,7 @@ def build_ingested_probes(
 
     Every trace file under *trace_dir* (see
     :func:`repro.workloads.ingest.discover_traces`; *trace_format* optionally
-    restricts to ``"champsim"`` or ``"gem5"``) contributes up to
+    restricts to ``"champsim"``, ``"gem5"`` or ``"k6"``) contributes up to
     *max_simpoints_per_trace* probes named ``"<file stem>/spNN"`` — the file
     stem plays the role the benchmark name plays for synthetic probes.  The
     interval size is clamped to the trace length so short traces still yield
@@ -127,6 +128,62 @@ def build_ingested_probes(
             num_blocks=ingested.num_blocks,
             interval_size=min(interval_size, len(uops)),
             max_simpoints=max_simpoints_per_trace,
+            seed=seed + index,
+        )
+        probes.extend(Probe(simpoint=sp) for sp in selection)
+    return probes
+
+
+def build_mix_probes(
+    mixes,
+    interval_size: int = 3_000,
+    max_simpoints_per_mix: int = 3,
+    seed: int = 0,
+) -> list[Probe]:
+    """Extract probes from built multi-program mixes.
+
+    *mixes* is a sequence of :class:`repro.workloads.mixes.MixedTrace`
+    objects; each contributes up to *max_simpoints_per_mix* probes named
+    ``"<mix name>/spNN"``.  The interval size is clamped to the mix length.
+    """
+    probes: list[Probe] = []
+    for index, mix in enumerate(mixes):
+        selection = select_simpoints_from_uops(
+            mix.uops,
+            benchmark=mix.name,
+            num_blocks=mix.num_blocks,
+            interval_size=min(interval_size, len(mix.uops)),
+            max_simpoints=max_simpoints_per_mix,
+            seed=seed + index,
+        )
+        probes.extend(Probe(simpoint=sp) for sp in selection)
+    return probes
+
+
+def build_memsynth_probes(
+    workloads,
+    instructions_per_workload: int,
+    interval_size: int = 3_000,
+    max_simpoints_per_workload: int = 3,
+    seed: int = 0,
+) -> list[Probe]:
+    """Extract probes from the synthetic memory-behavior generators.
+
+    *workloads* names :data:`repro.workloads.memsynth.MEMSYNTH_WORKLOADS`
+    archetypes; each is generated deterministically and profiled through the
+    same SimPoint pipeline as every other probe family.
+    """
+    from ..workloads.memsynth import memsynth_num_blocks, memsynth_trace
+
+    probes: list[Probe] = []
+    for index, name in enumerate(workloads):
+        uops = memsynth_trace(name, instructions_per_workload, seed=seed + index)
+        selection = select_simpoints_from_uops(
+            uops,
+            benchmark=name,
+            num_blocks=memsynth_num_blocks(uops),
+            interval_size=min(interval_size, len(uops)),
+            max_simpoints=max_simpoints_per_workload,
             seed=seed + index,
         )
         probes.extend(Probe(simpoint=sp) for sp in selection)
@@ -161,8 +218,28 @@ class SyntheticProbeSource(ProbeSource):
 
 
 @dataclass(frozen=True)
+class MemsynthProbeSource(ProbeSource):
+    """Probes profiled from the synthetic memory-behavior generators."""
+
+    workloads: tuple[str, ...]
+    instructions_per_workload: int
+    interval_size: int
+    max_simpoints_per_workload: int = 3
+    seed: int = 0
+
+    def build(self) -> list[Probe]:
+        return build_memsynth_probes(
+            list(self.workloads),
+            instructions_per_workload=self.instructions_per_workload,
+            interval_size=self.interval_size,
+            max_simpoints_per_workload=self.max_simpoints_per_workload,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
 class IngestedProbeSource(ProbeSource):
-    """Probes extracted from on-disk ChampSim/gem5-style traces."""
+    """Probes extracted from on-disk ChampSim/gem5/k6-style traces."""
 
     trace_dir: str
     trace_format: str | None = None

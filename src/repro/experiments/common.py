@@ -53,6 +53,10 @@ class ExperimentScale:
     memory_instructions: int
     memory_step_instructions: int
     seed: int = 7
+    # Multi-program mix scorecard knobs (the ``mixes`` experiment).
+    mix_instructions: int = 12_000
+    mix_chunk: int = 64
+    mix_max_simpoints: int = 2
 
 
 SMOKE = ExperimentScale(
@@ -101,6 +105,9 @@ SMALL = ExperimentScale(
     memory_benchmarks=("403.gcc", "426.mcf", "450.soplex", "462.libquantum"),
     memory_instructions=80_000,
     memory_step_instructions=2_000,
+    mix_instructions=24_000,
+    mix_chunk=64,
+    mix_max_simpoints=3,
 )
 
 FULL = ExperimentScale(
@@ -132,6 +139,9 @@ FULL = ExperimentScale(
     ),
     memory_instructions=200_000,
     memory_step_instructions=4_000,
+    mix_instructions=96_000,
+    mix_chunk=128,
+    mix_max_simpoints=4,
 )
 
 SCALES: dict[str, ExperimentScale] = {"smoke": SMOKE, "small": SMALL, "full": FULL}
@@ -155,6 +165,9 @@ class ExperimentResult:
     title: str
     rows: list[dict[str, object]]
     notes: str = ""
+    #: Optional machine-greppable one-liner the runner renders as a
+    #: ``[<experiment_id>] ...`` bracket line at the end of the report.
+    summary: str = ""
 
     def to_text(self) -> str:
         """Render the result as a fixed-width text table."""
@@ -218,7 +231,7 @@ class ExperimentContext:
         else (caches, engine, store keys) is unchanged.
     trace_format:
         Optional format restriction for *trace_dir* (``"champsim"`` /
-        ``"gem5"``; default: ingest every recognised trace file).
+        ``"gem5"`` / ``"k6"``; default: ingest every recognised trace file).
     """
 
     def __init__(
@@ -388,10 +401,19 @@ class ExperimentContext:
         )
 
     def memory_detection_setup(
-        self, engine: str | None = None, target_metric: str = "amat"
+        self,
+        engine: str | None = None,
+        target_metric: str = "amat",
+        probes: list[Probe] | None = None,
     ) -> DetectionSetup:
-        """Memory-study :class:`DetectionSetup` (Section IV-D / Table VII)."""
+        """Memory-study :class:`DetectionSetup` (Section IV-D / Table VII).
+
+        *probes* overrides the context's memory probes — used by the mix
+        scorecard to evaluate detection on per-mix probe sets while sharing
+        this context's caches and engine.
+        """
         sets = self.memory_designs()
+        chosen_probes = probes if probes is not None else self.memory_probes
         if target_metric == "amat":
             cache = self.memory_cache
         else:
@@ -401,7 +423,7 @@ class ExperimentContext:
                 engine=self.engine,
             )
         return DetectionSetup(
-            probes=[Probe(simpoint=p.simpoint) for p in self.memory_probes],
+            probes=[Probe(simpoint=p.simpoint) for p in chosen_probes],
             train_designs=sets["I"],
             val_designs=sets["II"],
             stage2_designs=sets["II"] + sets["III"],

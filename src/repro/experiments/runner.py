@@ -15,11 +15,13 @@ execution backend — ``serial``, ``local:N``, ``subprocess:N`` (local
 ``docs/RUNTIME.md``).  ``--store PATH`` persists every simulated counter
 series keyed by content
 hash, so a repeat invocation (same scale/experiments) performs zero new
-simulations.  ``--trace-dir DIR [--trace-format champsim|gem5]`` swaps the
+simulations.  ``--trace-dir DIR [--trace-format champsim|gem5|k6]`` swaps the
 synthetic workloads for on-disk traces (see ``docs/TRACES.md``): probes are
 SimPoint-extracted from the ingested streams and flow through the same
-engine, store and detection path.  The installed ``repro-experiments``
-console script is an alias for this module.
+engine, store and detection path.  ``--mixes`` adds the multi-program mix
+scorecard (opt-in; also reachable as ``--only mixes``), which renders an
+extra ``[mixes]`` bracket line at the end of the report.  The installed
+``repro-experiments`` console script is an alias for this module.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from . import (
     fig11_timestep,
     fig12_arch_features,
     fig13_training_archs,
+    mixes as mixes_experiment,
     table4_ipc_modeling,
     table5_detection,
     table6_window,
@@ -64,7 +67,11 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig12": fig12_arch_features.run,
     "fig13": fig13_training_archs.run,
     "tab7": table7_memory.run,
+    "mixes": mixes_experiment.run,
 }
+
+#: Experiments excluded from default sweeps; run via --only or their flag.
+OPT_IN = frozenset({"mixes"})
 
 
 def run_all(
@@ -76,14 +83,21 @@ def run_all(
     trace_dir: str | None = None,
     trace_format: str | None = None,
     backend: str | None = None,
+    mixes: bool = False,
 ) -> list[ExperimentResult]:
     """Run the selected experiments, sharing one context, and return results.
 
     *jobs*, *store*, *trace_dir*, *trace_format* and *backend* configure the
     implicitly created context (see :class:`ExperimentContext`); they are
-    ignored when an explicit *context* is passed.
+    ignored when an explicit *context* is passed.  Opt-in experiments (the
+    mix scorecard) only run when named in *only* or enabled by *mixes*.
     """
-    chosen = list(EXPERIMENTS) if not only else [e for e in EXPERIMENTS if e in set(only)]
+    if not only:
+        chosen = [e for e in EXPERIMENTS if e not in OPT_IN or (mixes and e == "mixes")]
+    else:
+        chosen = [e for e in EXPERIMENTS if e in set(only)]
+        if mixes and "mixes" not in chosen:
+            chosen.append("mixes")
     unknown = set(only or []) - set(EXPERIMENTS)
     if unknown:
         raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
@@ -119,9 +133,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory of on-disk traces; probes are extracted "
                              "from these instead of from synthetic workloads")
     parser.add_argument("--trace-format", default=None,
-                        choices=["champsim", "gem5"],
+                        choices=["champsim", "gem5", "k6"],
                         help="restrict --trace-dir ingestion to one format "
                              "(default: every recognised trace file)")
+    parser.add_argument("--mixes", action="store_true",
+                        help="also run the multi-program mix scorecard "
+                             "(opt-in; equivalent to adding 'mixes' to --only)")
     args = parser.parse_args(argv)
     if args.trace_format is not None and args.trace_dir is None:
         parser.error("--trace-format requires --trace-dir")
@@ -135,9 +152,13 @@ def main(argv: list[str] | None = None) -> int:
         trace_dir=args.trace_dir, trace_format=args.trace_format,
         backend=args.backend,
     )
-    results = run_all(scale=args.scale, only=args.only, context=context)
+    results = run_all(scale=args.scale, only=args.only, context=context,
+                      mixes=args.mixes)
     report = "\n\n".join(result.to_text() for result in results)
     report += f"\n\nTotal runtime: {time.time() - start:.1f}s at scale '{args.scale}'\n"
+    for result in results:
+        if result.summary:
+            report += f"[{result.experiment_id}] {result.summary}\n"
     if args.trace_dir is not None:
         # Report only probe sets the experiments actually built — forcing a
         # build here would run SimPoint extraction just to print a count.

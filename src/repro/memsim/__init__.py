@@ -14,6 +14,7 @@ from .simulator import (
     DEFAULT_STEP_INSTRUCTIONS,
     MemoryHierarchySim,
     MemSimResult,
+    llc_mpki,
     simulate_memory_trace,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "MemoryHierarchySim",
     "MemSimResult",
     "simulate_memory_trace",
+    "llc_mpki",
     "DEFAULT_STEP_INSTRUCTIONS",
 ]

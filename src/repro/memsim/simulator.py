@@ -200,3 +200,11 @@ def simulate_memory_trace(
     """
     sim = MemoryHierarchySim(config, bug=bug, step_instructions=step_instructions)
     return sim.run(as_uops(trace))
+
+
+def llc_mpki(result: MemSimResult) -> float:
+    """Last-level-cache misses per kilo-instruction of a finished run."""
+    counters = result.series.counters
+    misses = float(counters["mem.llc.misses"].sum())
+    instructions = float(counters["mem.instructions"].sum())
+    return 1000.0 * misses / max(1.0, instructions)

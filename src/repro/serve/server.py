@@ -423,7 +423,7 @@ def main(argv: "list[str] | None" = None) -> int:
                        help="persistent result store for training simulations")
     train.add_argument("--trace-dir", default=None,
                        help="train on on-disk traces instead of synthetic workloads")
-    train.add_argument("--trace-format", default=None, choices=["champsim", "gem5"])
+    train.add_argument("--trace-format", default=None, choices=["champsim", "gem5", "k6"])
     train.set_defaults(func=_cmd_train)
 
     run = commands.add_parser("run", help="serve a trained model over a socket")

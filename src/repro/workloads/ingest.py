@@ -10,7 +10,7 @@ compact numpy-column worker shipping, same result-store keys as synthetic
 traces.  Nothing downstream (SimPoint extraction, the job engine, the
 detection pipeline) knows or cares that a trace came from disk.
 
-Two formats are supported (full byte-level / grammar documentation lives in
+Three formats are supported (full byte-level / grammar documentation lives in
 ``docs/TRACES.md``):
 
 ``champsim``
@@ -31,12 +31,25 @@ Two formats are supported (full byte-level / grammar documentation lives in
     :class:`~repro.workloads.isa.Opcode` members.  This format is
     full-fidelity: every ``MicroOp`` field round-trips exactly.
 
-Both formats may be stored raw, gzip-framed or xz-framed; compression is
+``k6``
+    A DRAMSim-style memory trace: one ``<address> <command> <cycle>`` line
+    per memory access, with ``P_MEM_RD`` mapping to ``LOAD`` and ``P_MEM_WR``
+    to ``STORE``.  Memory traces carry no control flow, so program counters
+    are synthesized at a fixed stride and basic blocks are derived from
+    *data* locality instead: each 4 KiB page gets one block id, assigned
+    densely in first-appearance order, so BBV/SimPoint profiling clusters
+    intervals by the memory regions they touch.  This is the natural input
+    format for the memory-hierarchy study (:mod:`repro.memsim`).
+
+All formats may be stored raw, gzip-framed or xz-framed; compression is
 detected from the file's magic bytes, never from its name.  Basic blocks
 (needed for BBV/SimPoint profiling) are re-derived from the dynamic stream —
 a new block starts at the first instruction and after every control-flow
 instruction, keyed by its leader's address — unless the file itself carries
-block ids (gem5 ``B=``).
+block ids (gem5 ``B=``).  File-supplied ids must be non-negative; sparse id
+sets are densely renumbered in first-appearance order so the BBV dimension
+always equals the distinct-block count (content digests are unaffected —
+they never include block ids).
 """
 
 from __future__ import annotations
@@ -119,6 +132,21 @@ def assign_blocks(uops: Sequence[MicroOp]) -> int:
         if uop.is_branch:
             at_leader = True
     return len(leaders)
+
+
+def densify_blocks(uops: Sequence[MicroOp]) -> int:
+    """Renumber existing ``block_id`` values densely, in place; returns count.
+
+    Ids are remapped in first-appearance order, so the result is a pure
+    function of the instruction stream — a sparse user-supplied id set (say
+    ``{0, 900}``) and its dense equivalent produce identical BBVs.  Content
+    digests never include block ids, so renumbering cannot change a trace's
+    result-store identity.
+    """
+    remap: dict[int, int] = {}
+    for uop in uops:
+        uop.block_id = remap.setdefault(uop.block_id, len(remap))
+    return len(remap)
 
 
 # -- ChampSim-style binary format ----------------------------------------------
@@ -299,6 +327,12 @@ def read_gem5(path: str | Path) -> list[MicroOp]:
             block_id = int(fields["B"]) if "B" in fields else -1
         except ValueError as exc:
             raise TraceIngestError(f"{path}:{lineno}: {exc}") from exc
+        if "B" in fields and block_id < 0:
+            # A negative id would corrupt num_blocks (max+1) and every BBV
+            # dimension downstream; the -1 sentinel is internal-only.
+            raise TraceIngestError(
+                f"{path}:{lineno}: negative basic-block id B={block_id}"
+            )
         if is_memory(opcode) and address is None:
             raise TraceIngestError(
                 f"{path}:{lineno}: memory op {mnemonic!r} lacks an A= address"
@@ -334,6 +368,14 @@ def read_gem5(path: str | Path) -> list[MicroOp]:
         )
     if not saw_block:
         assign_blocks(uops)
+    else:
+        distinct = {uop.block_id for uop in uops}
+        if max(distinct) + 1 != len(distinct):
+            # Sparse user-supplied ids (e.g. only B=0 and B=900) would blow
+            # the BBV dimension up to max+1; renumber densely instead.  Dense
+            # id sets pass through untouched, preserving full-fidelity
+            # round-trips.
+            densify_blocks(uops)
     return uops
 
 
@@ -366,6 +408,125 @@ def write_gem5(path: str | Path, uops: Iterable[MicroOp]) -> int:
     return count
 
 
+# -- DRAMSim-style k6 memory-trace format --------------------------------------
+
+#: k6 commands and the micro-ops they map onto.
+K6_COMMANDS: dict[str, Opcode] = {
+    "P_MEM_RD": Opcode.LOAD,
+    "P_MEM_WR": Opcode.STORE,
+}
+_K6_COMMAND_NAMES = {Opcode.LOAD: "P_MEM_RD", Opcode.STORE: "P_MEM_WR"}
+
+#: Synthetic code region for k6 records: memory traces carry no program
+#: counters, so each record gets a fresh pc at a fixed stride.
+K6_CODE_BASE = 0x00C0_0000
+
+#: Block-derivation granularity: one basic block per 4 KiB page touched.
+K6_PAGE_SHIFT = 12
+
+#: Cycle stride the writer synthesizes (k6 cycles are advisory timestamps;
+#: ingestion only checks that they are non-negative and non-decreasing).
+K6_CYCLE_STRIDE = 10
+
+
+def read_k6(path: str | Path) -> list[MicroOp]:
+    """Ingest a DRAMSim-style k6 memory trace into a micro-op list.
+
+    Each non-comment line is ``<address> <command> <cycle>`` with the address
+    hex (``0x...``) or base-prefixed, the command one of ``P_MEM_RD`` /
+    ``P_MEM_WR`` and the cycle a non-negative, non-decreasing integer.  Reads
+    become ``LOAD`` micro-ops (with a destination register derived
+    deterministically from the address), writes become ``STORE``.  Program
+    counters are synthesized at a fixed stride from :data:`K6_CODE_BASE`, and
+    block ids are the trace's 4 KiB pages in first-appearance order — the
+    BBV analogue for a pure data stream.
+    """
+    path = Path(path)
+    payload = _read_payload(path)
+    if not payload.strip():
+        raise TraceIngestError(f"{path}: empty trace")
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceIngestError(f"{path}: not a textual trace: {exc}") from exc
+    uops: list[MicroOp] = []
+    pages: dict[int, int] = {}
+    last_cycle = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceIngestError(
+                f"{path}:{lineno}: expected '<address> <command> <cycle>', "
+                f"got {line!r}"
+            )
+        address_text, command, cycle_text = parts
+        opcode = K6_COMMANDS.get(command)
+        if opcode is None:
+            raise TraceIngestError(
+                f"{path}:{lineno}: unknown k6 command {command!r} "
+                f"(expected {'/'.join(sorted(K6_COMMANDS))})"
+            )
+        try:
+            address = int(address_text, 0)
+            cycle = int(cycle_text)
+        except ValueError as exc:
+            raise TraceIngestError(f"{path}:{lineno}: {exc}") from exc
+        if address < 0:
+            raise TraceIngestError(
+                f"{path}:{lineno}: negative address {address_text}"
+            )
+        if cycle < 0:
+            raise TraceIngestError(f"{path}:{lineno}: negative cycle {cycle}")
+        if cycle < last_cycle:
+            raise TraceIngestError(
+                f"{path}:{lineno}: cycle {cycle} goes backwards "
+                f"(previous record at {last_cycle})"
+            )
+        last_cycle = cycle
+        block_id = pages.setdefault(address >> K6_PAGE_SHIFT, len(pages))
+        if opcode is Opcode.LOAD:
+            dest = (address >> 6) % NUM_ARCH_REGS
+        else:
+            dest = None
+        uops.append(
+            MicroOp(
+                opcode=opcode,
+                srcs=(0,),
+                dest=dest,
+                pc=K6_CODE_BASE + DEFAULT_INSTR_BYTES * len(uops),
+                address=address,
+                block_id=block_id,
+            )
+        )
+    if not uops:
+        raise TraceIngestError(f"{path}: empty trace (no k6 records)")
+    return uops
+
+
+def write_k6(path: str | Path, uops: Iterable[MicroOp]) -> int:
+    """Write the memory accesses of *uops* as a k6 trace; returns records.
+
+    The encoding is lossy by design: k6 records carry only memory traffic,
+    so non-memory micro-ops are dropped and cycle timestamps are synthesized
+    at :data:`K6_CYCLE_STRIDE`.  Re-ingesting the output reproduces exactly
+    the micro-ops :func:`read_k6` yields for the same access stream, so
+    k6-sourced traces round-trip bit-identically (same content digest).
+    """
+    path = Path(path)
+    lines = ["# k6 memory trace: <address> <command> <cycle>"]
+    cycle = 0
+    for uop in uops:
+        if not uop.is_mem or uop.address is None:
+            continue
+        cycle += K6_CYCLE_STRIDE
+        lines.append(f"0x{uop.address:x} {_K6_COMMAND_NAMES[uop.opcode]} {cycle}")
+    _write_payload(path, ("\n".join(lines) + "\n").encode("utf-8"))
+    return len(lines) - 1
+
+
 # -- format registry and discovery ---------------------------------------------
 
 
@@ -393,6 +554,12 @@ TRACE_FORMATS: dict[str, TraceFormat] = {
             suffixes=(".gem5", ".gem5.gz", ".gem5.xz"),
             reader=read_gem5,
             writer=write_gem5,
+        ),
+        TraceFormat(
+            name="k6",
+            suffixes=(".k6", ".k6.gz", ".k6.xz"),
+            reader=read_k6,
+            writer=write_k6,
         ),
     )
 }
@@ -495,9 +662,13 @@ def discover_traces(
 ) -> list[IngestedTrace]:
     """Find every ingestible trace under *trace_dir*, sorted by name.
 
-    *fmt* restricts discovery to one format (``"champsim"`` / ``"gem5"``);
-    ``None`` accepts every known suffix.  Raises :class:`TraceIngestError`
-    when the directory does not exist or holds no matching traces.
+    *fmt* restricts discovery to one format (``"champsim"`` / ``"gem5"`` /
+    ``"k6"``); ``None`` accepts every known suffix.  Raises
+    :class:`TraceIngestError` when the directory does not exist, holds no
+    matching traces, or holds two files resolving to the same trace name
+    (e.g. ``foo.gem5.gz`` next to ``foo.gem5.xz``) — downstream probe names
+    are derived from trace names, so a silent collision would let one trace
+    shadow the other in every report.
     """
     root = Path(trace_dir)
     if not root.is_dir():
@@ -516,6 +687,20 @@ def discover_traces(
         raise TraceIngestError(
             f"no {'/'.join(f.name for f in formats)} traces under {root} "
             f"(looked for {wanted})"
+        )
+    by_name: dict[str, list[Path]] = {}
+    for trace in found:
+        by_name.setdefault(trace.name, []).append(trace.path)
+    collisions = [
+        f"{name}: {', '.join(str(p) for p in paths)}"
+        for name, paths in sorted(by_name.items())
+        if len(paths) > 1
+    ]
+    if collisions:
+        raise TraceIngestError(
+            f"duplicate trace names under {root} (probe names derive from "
+            f"trace names, so one file would shadow the other): "
+            + "; ".join(collisions)
         )
     return found
 
@@ -540,7 +725,7 @@ def main(argv: list[str] | None = None) -> int:
     """Inspect on-disk traces: formats, sizes, digests and probe extraction."""
     parser = argparse.ArgumentParser(
         prog="repro-ingest",
-        description="Inspect ChampSim/gem5-style on-disk traces and "
+        description="Inspect ChampSim/gem5/k6-style on-disk traces and "
         "preview the SimPoint probes they would contribute.",
     )
     parser.add_argument("trace_dir", help="directory holding trace files")

@@ -1,0 +1,208 @@
+"""Synthetic memory-behavior generators for the memory-hierarchy study.
+
+The SPEC-like synthetic programs exercise the out-of-order core broadly but
+their memory behavior is comparatively tame.  This module generates micro-op
+streams whose *memory* behavior follows four archetypes commonly profiled in
+production services (modeled on the workload suites real memory profilers
+ship with):
+
+``monotonic-leak``
+    An ever-growing heap: allocation writes march forward through fresh
+    cache lines while a slowly growing set of "leaked" objects keeps being
+    revisited, so the reuse set never stabilises.  Caches of any size end up
+    thrashing — the high-MPKI stressor.
+
+``high-reuse``
+    A small resident working set cycled with high temporal locality; nearly
+    everything hits in L1/L2.  The low-MPKI anchor.
+
+``kv-store``
+    A memcached-style hash-table service: hot-key skew (90% of operations
+    touch the hottest 10% of keys), an 80/20 get/set mix, bucket probe plus
+    value-line traffic, ALU filler standing in for key hashing.
+
+``web-server``
+    An nginx-style phase alternator: a branchy *parse* phase over a small
+    request buffer, then a *serve* phase streaming one object sequentially
+    out of a large content store — strong phase behavior for SimPoint and a
+    friendly target for next-line/stride prefetchers.
+
+Every generator is deterministic for a given ``(name, instructions, seed)``
+— each instance owns a ``numpy`` :func:`~numpy.random.default_rng` — and
+emits dynamic instances of a small static program: fixed per-block pc
+layout, dense ``block_id`` values.  The streams therefore flow through
+BBV/SimPoint profiling, the job engine and the content-addressed store
+exactly like synthetic SPEC traces or ingested files, and are valid
+components for :mod:`repro.workloads.mixes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import DEFAULT_INSTR_BYTES, MicroOp, Opcode
+
+#: Names of the available memory-behavior archetypes.
+MEMSYNTH_WORKLOADS: tuple[str, ...] = (
+    "monotonic-leak",
+    "high-reuse",
+    "kv-store",
+    "web-server",
+)
+
+#: Code/data layout of the emitted streams.
+_CODE_BASE = 0x00A0_0000
+_HEAP_BASE = 0x3000_0000
+_LINE = 64
+
+#: ALU filler opcodes cycled through inside each static block.
+_FILLER = (Opcode.ADD, Opcode.XOR, Opcode.CMP, Opcode.SHIFT)
+
+
+class _Emitter:
+    """Emission scaffold shared by the archetype generators.
+
+    Each archetype repeatedly emits dynamic instances of a handful of static
+    basic blocks.  Blocks are keyed by label: the first use of a label
+    allocates the next dense block id and a fixed pc range, so every dynamic
+    instance of a block replays the same static pcs — exactly what BBV
+    profiling keys on.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.uops: list[MicroOp] = []
+        self._blocks: dict[str, int] = {}
+
+    def emit(self, label: str, accesses, alu: int = 2) -> None:
+        """Emit one dynamic instance of the static block *label*.
+
+        *accesses* is a sequence of ``(address, is_load)`` pairs; *alu*
+        filler ops and a mostly-taken backward loop branch complete the
+        block.
+        """
+        block_id = self._blocks.setdefault(label, len(self._blocks))
+        base = _CODE_BASE + block_id * 0x100
+        pc = base
+        for address, is_load in accesses:
+            if is_load:
+                self.uops.append(
+                    MicroOp(Opcode.LOAD, srcs=(1,), dest=2, pc=pc,
+                            address=int(address), block_id=block_id)
+                )
+            else:
+                self.uops.append(
+                    MicroOp(Opcode.STORE, srcs=(1, 2), dest=None, pc=pc,
+                            address=int(address), block_id=block_id)
+                )
+            pc += DEFAULT_INSTR_BYTES
+        for index in range(alu):
+            self.uops.append(
+                MicroOp(_FILLER[index % len(_FILLER)], srcs=(2, 3), dest=3,
+                        pc=pc, block_id=block_id)
+            )
+            pc += DEFAULT_INSTR_BYTES
+        taken = len(self.uops) % 64 != 0
+        self.uops.append(
+            MicroOp(Opcode.BRANCH, srcs=(), dest=None, pc=pc, taken=taken,
+                    target=base if taken else pc + DEFAULT_INSTR_BYTES,
+                    block_id=block_id)
+        )
+
+
+def _monotonic_leak(gen: _Emitter, instructions: int) -> None:
+    heap_top = _HEAP_BASE
+    leaked: list[int] = [heap_top]
+    while len(gen.uops) < instructions:
+        size = int(gen.rng.integers(1, 9)) * _LINE  # 64 B .. 512 B objects
+        accesses = [(heap_top + off, False) for off in range(0, size, _LINE)]
+        if gen.rng.random() < 0.05:
+            leaked.append(heap_top)  # ~5% of allocations are never freed
+        heap_top += size
+        for _ in range(2):
+            victim = leaked[int(gen.rng.integers(0, len(leaked)))]
+            accesses.append((victim, True))
+        gen.emit("alloc", accesses, alu=3)
+
+
+def _high_reuse(gen: _Emitter, instructions: int) -> None:
+    lines = (16 * 1024) // _LINE  # 16 KiB resident working set
+    cursor = 0
+    while len(gen.uops) < instructions:
+        accesses = []
+        for _ in range(4):
+            cursor = (cursor + 1) % lines
+            accesses.append((_HEAP_BASE + cursor * _LINE, True))
+        slot = int(gen.rng.integers(0, lines))
+        accesses.append((_HEAP_BASE + slot * _LINE, False))
+        gen.emit("loop", accesses, alu=4)
+
+
+def _kv_store(gen: _Emitter, instructions: int) -> None:
+    buckets = 4096
+    hot = buckets // 10
+    table = _HEAP_BASE
+    values = _HEAP_BASE + buckets * _LINE
+    value_lines = 4
+    while len(gen.uops) < instructions:
+        if gen.rng.random() < 0.9:
+            key = int(gen.rng.integers(0, hot))
+        else:
+            key = int(gen.rng.integers(0, buckets))
+        is_get = gen.rng.random() < 0.8
+        accesses = [(table + key * _LINE, True)]  # bucket probe
+        value = values + key * value_lines * _LINE
+        for line in range(2 if is_get else value_lines):
+            accesses.append((value + line * _LINE, is_get))
+        gen.emit("get" if is_get else "set", accesses, alu=5)
+
+
+def _web_server(gen: _Emitter, instructions: int) -> None:
+    request_lines = 4096 // _LINE  # 4 KiB request buffer
+    content = _HEAP_BASE + (1 << 24)
+    content_lines = (8 << 20) // _LINE  # 8 MiB content store
+    while len(gen.uops) < instructions:
+        for _ in range(6):  # parse phase: header churn over the buffer
+            slot = int(gen.rng.integers(0, request_lines))
+            gen.emit("parse", [(_HEAP_BASE + slot * _LINE, True)], alu=4)
+            if len(gen.uops) >= instructions:
+                return
+        start = int(gen.rng.integers(0, content_lines - 64))
+        for line in range(48):  # serve phase: stream one object sequentially
+            gen.emit("serve", [(content + (start + line) * _LINE, True)], alu=1)
+            if len(gen.uops) >= instructions:
+                return
+
+
+_GENERATORS = {
+    "monotonic-leak": _monotonic_leak,
+    "high-reuse": _high_reuse,
+    "kv-store": _kv_store,
+    "web-server": _web_server,
+}
+
+
+def memsynth_trace(name: str, instructions: int, seed: int = 0) -> list[MicroOp]:
+    """Generate *instructions* micro-ops of the memory archetype *name*.
+
+    Deterministic for a given ``(name, instructions, seed)``; the result
+    carries dense block ids and is directly consumable by SimPoint
+    extraction, :mod:`repro.memsim` and the mix builder.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown memsynth workload {name!r}; "
+            f"available: {list(MEMSYNTH_WORKLOADS)}"
+        ) from None
+    if instructions <= 0:
+        raise ValueError(f"instructions must be positive, got {instructions}")
+    emitter = _Emitter(seed)
+    generator(emitter, instructions)
+    return emitter.uops[:instructions]
+
+
+def memsynth_num_blocks(uops) -> int:
+    """BBV dimension of a memsynth stream (ids are dense, so ``max+1``)."""
+    return max(uop.block_id for uop in uops) + 1 if uops else 0

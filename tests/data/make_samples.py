@@ -19,7 +19,8 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.workloads import TraceGenerator, build_program, workload
-from repro.workloads.ingest import write_champsim, write_gem5
+from repro.workloads.ingest import write_champsim, write_gem5, write_k6
+from repro.workloads.memsynth import memsynth_trace
 
 DATA_DIR = Path(__file__).resolve().parent
 
@@ -30,6 +31,14 @@ SAMPLES = [
     ("433.milc.gem5.gz", "433.milc", 41, 42, 9_600),
 ]
 
+#: (file name, memsynth archetype, seed, instructions) — the k6 writer only
+#: emits memory traffic, so the instruction count is sized to yield three
+#: full 3000-record SimPoint intervals (with a sub-half tail that the
+#: interval splitter drops).
+K6_SAMPLES = [
+    ("kvstore.k6.gz", "kv-store", 52, 25_000),
+]
+
 
 def main() -> None:
     for name, benchmark, program_seed, trace_seed, instructions in SAMPLES:
@@ -38,6 +47,11 @@ def main() -> None:
         path = DATA_DIR / name
         writer = write_champsim if ".champsim" in name else write_gem5
         records = writer(path, uops)
+        print(f"{path.name}: {records} records, {path.stat().st_size} bytes")
+    for name, archetype, seed, instructions in K6_SAMPLES:
+        uops = memsynth_trace(archetype, instructions, seed=seed)
+        path = DATA_DIR / name
+        records = write_k6(path, uops)
         print(f"{path.name}: {records} records, {path.stat().st_size} bytes")
 
 

@@ -87,8 +87,16 @@ class TestContext:
 class TestRunner:
     def test_experiment_registry_complete(self):
         expected = {"fig1", "fig3", "fig4", "tab4", "fig5", "fig6", "tab5", "fig8",
-                    "fig9", "fig10", "fig11", "tab6", "fig12", "fig13", "tab7"}
+                    "fig9", "fig10", "fig11", "tab6", "fig12", "fig13", "tab7",
+                    "mixes"}
         assert set(EXPERIMENTS) == expected
+
+    def test_opt_in_experiments_excluded_by_default(self):
+        from repro.experiments.runner import OPT_IN
+
+        assert OPT_IN == {"mixes"}
+        default = [e for e in EXPERIMENTS if e not in OPT_IN]
+        assert "mixes" not in default and len(default) == len(EXPERIMENTS) - 1
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):

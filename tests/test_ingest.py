@@ -18,16 +18,20 @@ from repro.workloads.ingest import (
     TRACE_FORMATS,
     TraceIngestError,
     assign_blocks,
+    densify_blocks,
     discover_traces,
     ingest_trace,
     main as ingest_main,
     read_champsim,
     read_gem5,
+    read_k6,
     trace_format,
     write_champsim,
     write_gem5,
+    write_k6,
 )
 from repro.workloads.isa import Opcode
+from repro.workloads.memsynth import memsynth_trace
 
 DATA_DIR = Path(__file__).resolve().parent / "data"
 
@@ -39,6 +43,7 @@ GOLDEN_DIGESTS = {
     "403.gcc": "4e13d1f2ceaaff0ff158ddffdda06666",
     "458.sjeng": "e7b6b5b84b67848b5f59301548673009",
     "433.milc": "228405a845f8f3f429309c773fe9aa27",
+    "kvstore": "48b7d469c3549b81c4c5f27714eb10ec",
 }
 
 
@@ -51,14 +56,18 @@ def synth_uops():
 class TestGoldenSamples:
     def test_discovery_finds_all_formats(self):
         traces = discover_traces(DATA_DIR)
-        assert [t.name for t in traces] == ["403.gcc", "433.milc", "458.sjeng"]
-        assert {t.format.name for t in traces} == {"champsim", "gem5"}
+        assert [t.name for t in traces] == [
+            "403.gcc", "433.milc", "458.sjeng", "kvstore",
+        ]
+        assert {t.format.name for t in traces} == {"champsim", "gem5", "k6"}
 
     def test_format_filter(self):
         champsim = discover_traces(DATA_DIR, "champsim")
         assert [t.name for t in champsim] == ["403.gcc", "458.sjeng"]
         gem5 = discover_traces(DATA_DIR, "gem5")
         assert [t.name for t in gem5] == ["433.milc"]
+        k6 = discover_traces(DATA_DIR, "k6")
+        assert [t.name for t in k6] == ["kvstore"]
 
     def test_digests_are_pinned(self):
         """Ingested content digests are the store identity — must not drift."""
@@ -185,6 +194,178 @@ class TestGem5Format:
         with pytest.raises(TraceIngestError, match=r"mixed\.gem5:2.*lacks B="):
             read_gem5(path)
 
+    def test_negative_block_id_rejected(self, tmp_path):
+        """-1 is the internal 'unassigned' sentinel; a file must not inject it."""
+        path = tmp_path / "neg.gem5"
+        path.write_text("0 0x400000 add D=1 B=0\n1 0x400004 add D=2 B=-1\n")
+        with pytest.raises(TraceIngestError, match=r"neg\.gem5:2.*negative.*B=-1"):
+            read_gem5(path)
+
+    def test_sparse_block_ids_densified(self, tmp_path):
+        """Sparse user-supplied B= ids must not inflate the BBV dimension.
+
+        Pre-fix, ``num_blocks = max(B)+1`` turned B=7/B=900 into a
+        901-dimensional BBV of mostly dead axes; ids are now remapped densely
+        in first-appearance order at read time.
+        """
+        path = tmp_path / "sparse.gem5"
+        path.write_text(
+            "0 0x400000 add D=1 B=7\n"
+            "1 0x400004 add D=2 B=900\n"
+            "2 0x400008 add D=3 B=7\n"
+        )
+        uops = read_gem5(path)
+        assert [u.block_id for u in uops] == [0, 1, 0]
+        assert ingest_trace(path, fmt="gem5").num_blocks == 2
+
+    def test_dense_block_ids_kept_verbatim(self, tmp_path):
+        """Already-dense ids pass through untouched (round-trip fidelity)."""
+        path = tmp_path / "dense.gem5"
+        path.write_text(
+            "0 0x400000 add D=1 B=0\n"
+            "1 0x400004 add D=2 B=1\n"
+            "2 0x400008 add D=3 B=0\n"
+        )
+        assert [u.block_id for u in read_gem5(path)] == [0, 1, 0]
+
+    def test_densify_blocks_helper(self, synth_uops):
+        shifted = [
+            type(u)(opcode=u.opcode, srcs=u.srcs, dest=u.dest, pc=u.pc,
+                    address=u.address, taken=u.taken, target=u.target,
+                    indirect=u.indirect, size=u.size,
+                    block_id=3 * u.block_id + 5)
+            for u in synth_uops[:500]
+        ]
+        count = densify_blocks(shifted)
+        ids = [u.block_id for u in shifted]
+        assert set(ids) == set(range(count))
+        # First-appearance order: each new id is exactly the next integer.
+        seen: list[int] = []
+        for block_id in ids:
+            if block_id not in seen:
+                assert block_id == len(seen)
+                seen.append(block_id)
+
+
+class TestK6Format:
+    def test_golden_round_trip_is_digest_stable(self, tmp_path):
+        first = read_k6(DATA_DIR / "kvstore.k6.gz")
+        for name in ("copy.k6", "copy.k6.gz", "copy.k6.xz"):
+            write_k6(tmp_path / name, first)
+            again = read_k6(tmp_path / name)
+            assert again == first, name
+            assert trace_digest(again) == trace_digest(first), name
+
+    def test_writer_reader_fixpoint_from_memsynth(self, tmp_path):
+        """write -> read -> write -> read converges after one lossy step."""
+        uops = memsynth_trace("web-server", 4_000, seed=3)
+        write_k6(tmp_path / "a.k6", uops)
+        once = read_k6(tmp_path / "a.k6")
+        write_k6(tmp_path / "b.k6", once)
+        twice = read_k6(tmp_path / "b.k6")
+        assert twice == once
+        assert trace_digest(twice) == trace_digest(once)
+
+    def test_mapping_is_memory_only_with_page_blocks(self):
+        uops = read_k6(DATA_DIR / "kvstore.k6.gz")
+        assert {u.opcode for u in uops} <= {Opcode.LOAD, Opcode.STORE}
+        assert all(u.address is not None for u in uops)
+        page_by_block = {}
+        for u in uops:
+            page = u.address >> 12
+            assert page_by_block.setdefault(u.block_id, page) == page
+        ids = {u.block_id for u in uops}
+        assert ids == set(range(len(ids)))
+
+    def test_unknown_command_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.k6"
+        path.write_text("0x1000 P_MEM_RD 0\n0x2000 P_FETCH 10\n")
+        with pytest.raises(TraceIngestError, match=r"bad\.k6:2.*P_FETCH"):
+            read_k6(path)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.k6"
+        path.write_text("0x1000 P_MEM_RD\n")
+        with pytest.raises(TraceIngestError, match=r"bad\.k6:1"):
+            read_k6(path)
+
+    def test_negative_cycle_raises(self, tmp_path):
+        path = tmp_path / "bad.k6"
+        path.write_text("0x1000 P_MEM_RD -5\n")
+        with pytest.raises(TraceIngestError, match="negative"):
+            read_k6(path)
+
+    def test_backwards_cycle_raises(self, tmp_path):
+        path = tmp_path / "bad.k6"
+        path.write_text("0x1000 P_MEM_RD 20\n0x2000 P_MEM_WR 10\n")
+        with pytest.raises(TraceIngestError, match=r"bad\.k6:2.*backwards"):
+            read_k6(path)
+
+    def test_corrupt_gzip_raises(self, tmp_path):
+        source = (DATA_DIR / "kvstore.k6.gz").read_bytes()
+        path = tmp_path / "bad.k6.gz"
+        path.write_bytes(source[: len(source) // 2])
+        with pytest.raises(TraceIngestError, match="corrupt"):
+            read_k6(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.k6"
+        path.write_bytes(b"")
+        with pytest.raises(TraceIngestError, match="empty"):
+            read_k6(path)
+
+    def test_comment_only_file_raises(self, tmp_path):
+        path = tmp_path / "comments.k6"
+        path.write_text("# header only\n")
+        with pytest.raises(TraceIngestError, match="no k6 records"):
+            read_k6(path)
+
+    def test_memory_study_serial_parallel_identity(self):
+        """k6 probes through the memory engine: bit-identical at any --jobs."""
+        probes = build_ingested_probes(
+            DATA_DIR, trace_format="k6", interval_size=3_000,
+            max_simpoints_per_trace=2,
+        )
+        assert probes and all(p.benchmark == "kvstore" for p in probes)
+        design = memory_microarch("Skylake-mem")
+        requests = [(p, design, None) for p in probes]
+
+        serial = MemorySimulationCache(step_instructions=500)
+        serial.warm(requests)
+        parallel = MemorySimulationCache(
+            step_instructions=500, engine=JobEngine(jobs=2, chunk_size=1)
+        )
+        parallel.warm(requests)
+        for probe, config, bug in requests:
+            a = serial.get(probe, config, bug)
+            b = parallel.get(probe, config, bug)
+            assert a.target_metric == b.target_metric
+            for name in a.series.counters:
+                assert np.array_equal(
+                    a.series.counters[name], b.series.counters[name]
+                ), name
+
+    def test_memory_store_replay_executes_nothing(self, tmp_path):
+        """Same k6 file -> same digest -> zero re-simulation from a store."""
+        design = memory_microarch("Skylake-mem")
+        store = ResultStore(tmp_path / "store")
+
+        def run_once():
+            probes = build_ingested_probes(
+                DATA_DIR, trace_format="k6", interval_size=3_000,
+                max_simpoints_per_trace=1,
+            )
+            cache = MemorySimulationCache(
+                step_instructions=500, engine=JobEngine(jobs=1, store=store)
+            )
+            cache.warm((p, design, None) for p in probes)
+            return cache.engine.stats
+
+        first = run_once()
+        assert first.executed == 1 and first.store_hits == 0
+        second = run_once()
+        assert second.executed == 0 and second.store_hits == 1
+
 
 class TestDiscoveryErrors:
     def test_unknown_format_name(self):
@@ -196,14 +377,29 @@ class TestDiscoveryErrors:
             discover_traces(tmp_path / "nope")
 
     def test_empty_directory(self, tmp_path):
-        with pytest.raises(TraceIngestError, match="no champsim/gem5 traces"):
+        with pytest.raises(TraceIngestError, match="no champsim/gem5/k6 traces"):
             discover_traces(tmp_path)
 
     def test_suffix_detection(self, tmp_path):
         assert ingest_trace(DATA_DIR / "403.gcc.champsim.gz").format.name == "champsim"
         assert ingest_trace(DATA_DIR / "433.milc.gem5.gz").format.name == "gem5"
+        assert ingest_trace(DATA_DIR / "kvstore.k6.gz").format.name == "k6"
         with pytest.raises(TraceIngestError, match="cannot detect trace format"):
             ingest_trace(tmp_path / "mystery.bin")
+
+    def test_duplicate_trace_names_rejected(self, tmp_path, synth_uops):
+        """Two files sharing a stem would silently shadow one another."""
+        write_champsim(tmp_path / "dup.champsim.gz", synth_uops)
+        write_gem5(tmp_path / "dup.gem5", synth_uops)
+        with pytest.raises(TraceIngestError, match="duplicate trace names") as exc:
+            discover_traces(tmp_path)
+        assert "dup.champsim.gz" in str(exc.value)
+        assert "dup.gem5" in str(exc.value)
+
+    def test_distinct_names_still_discovered(self, tmp_path, synth_uops):
+        write_champsim(tmp_path / "one.champsim.gz", synth_uops)
+        write_gem5(tmp_path / "two.gem5", synth_uops)
+        assert [t.name for t in discover_traces(tmp_path)] == ["one", "two"]
 
     def test_format_override_beats_suffix(self, synth_uops, tmp_path):
         path = tmp_path / "odd-name.gem5"
@@ -231,7 +427,7 @@ class TestIngestedProbes:
             DATA_DIR, interval_size=3_000, max_simpoints_per_trace=3, seed=0
         )
         benchmarks = {p.benchmark for p in probes}
-        assert benchmarks == {"403.gcc", "458.sjeng", "433.milc"}
+        assert benchmarks == {"403.gcc", "458.sjeng", "433.milc", "kvstore"}
         for benchmark in benchmarks:
             weights = [p.weight for p in probes if p.benchmark == benchmark]
             assert weights and abs(sum(weights) - 1.0) < 1e-9
@@ -332,3 +528,9 @@ class TestIngestCli:
         assert GOLDEN_DIGESTS["403.gcc"] in out
         assert "probe 403.gcc/sp01" in out
         assert "433.milc" not in out
+
+    def test_k6_listing(self, capsys):
+        assert ingest_main([str(DATA_DIR), "--format", "k6"]) == 0
+        out = capsys.readouterr().out
+        assert "kvstore" in out and "format=k6" in out
+        assert GOLDEN_DIGESTS["kvstore"] in out

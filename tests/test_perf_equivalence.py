@@ -410,7 +410,7 @@ class TestBenchHarness:
         from repro.bench.perf import run_benchmarks
 
         report = run_benchmarks(quick=True, jobs=2)
-        assert report["schema_version"] == 6
+        assert report["schema_version"] == 7
         assert report["single"]["counter_equivalence_checked"]
         assert report["single"]["kernel"] == "scalar"
         assert report["single"]["aggregate_speedup"] > 1.0
@@ -455,6 +455,15 @@ class TestBenchHarness:
         assert serve["warm"]["p50_ms"] > 0
         assert serve["warm"]["p99_ms"] >= serve["warm"]["p50_ms"]
         assert serve["warm"]["verdicts_per_sec"] > 0
+        # mixes section (v7): digest-stable builds, populated throughput and
+        # per-mix MPKI columns, quick subset ordered mix1 < mix7
+        mixes = report["mixes"]
+        assert mixes["digest_stability_checked"]
+        assert mixes["build_instr_per_sec"] > 0
+        assert mixes["sweep_instr_per_sec"] > 0
+        assert set(mixes["per_mix"]) == {"mix1", "mix4", "mix7"}
+        assert (mixes["per_mix"]["mix1"]["llc_mpki"]
+                < mixes["per_mix"]["mix7"]["llc_mpki"])
 
     def test_batch_speedup_column_readable_by_ratchet(self, tmp_path):
         import json
